@@ -1,0 +1,408 @@
+package tieredmem_test
+
+// The benchmark harness: one testing.B per table and figure of the
+// paper's evaluation (run with `go test -bench=. -benchmem`), plus
+// component micro-benchmarks for the simulator's hot paths. The
+// experiment benches use reduced reference counts so a full sweep
+// finishes in minutes; cmd/tmpbench runs the full-size versions and
+// writes the rendered tables under results/.
+
+import (
+	"fmt"
+	"testing"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/experiments"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/trace"
+	"tieredmem/internal/workload"
+)
+
+// benchOpts shrinks experiment runs to benchmark-friendly sizes while
+// keeping every workload in play.
+func benchOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Refs = 2_000_000
+	return o
+}
+
+// BenchmarkFig2PTWToCacheMissRatio regenerates Fig. 2: the ratio of
+// page-walk (A-bit-setting) events to the cache-miss events trace
+// sampling draws from, for all eight workloads.
+func BenchmarkFig2PTWToCacheMissRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		rows, err := experiments.Fig2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFig2(rows))
+		}
+	}
+}
+
+// BenchmarkTable4DetectedPages regenerates Table IV: pages captured by
+// A-bit vs IBS profiling at the default, 4x, and 8x sampling rates,
+// plus the §VI-A rate-gain aggregates.
+func BenchmarkTable4DetectedPages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		res, err := experiments.Table4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderTable4(res))
+		}
+	}
+}
+
+// BenchmarkFig3IBSHeatmap regenerates the Fig. 3 heatmaps (IBS samples
+// over time x physical address at the 4x rate).
+func BenchmarkFig3IBSHeatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		maps, err := experiments.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			total := 0
+			for _, m := range maps {
+				total += m.Grid.Nonzero()
+			}
+			b.Logf("8 heatmaps, %d nonzero cells", total)
+		}
+	}
+}
+
+// BenchmarkFig4AbitHeatmap regenerates the Fig. 4 heatmaps (A-bit
+// observations).
+func BenchmarkFig4AbitHeatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		maps, err := experiments.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			total := 0
+			for _, m := range maps {
+				total += m.Grid.Nonzero()
+			}
+			b.Logf("8 heatmaps, %d nonzero cells", total)
+		}
+	}
+}
+
+// BenchmarkFig5CDF regenerates the Fig. 5 per-page access-count CDFs
+// per method and sampling rate.
+func BenchmarkFig5CDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		series, err := experiments.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFig5(series))
+		}
+	}
+}
+
+// BenchmarkFig6Hitrate regenerates Fig. 6: tier-1 hitrate for
+// {Oracle, History} x {A-bit, IBS, TMP} x ratios 1/8..1/128.
+func BenchmarkFig6Hitrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		res, err := experiments.Fig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFig6(res))
+		}
+	}
+}
+
+// BenchmarkOverheadProfiling regenerates the §VI-B overhead study:
+// end-to-end runtime deltas for A-bit walks, IBS at default/4x, and
+// the fully gated TMP configuration. One workload per arm keeps the
+// bench tractable; cmd/tmpbench sweeps all eight.
+func BenchmarkOverheadProfiling(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"gups", "web-serving"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Overhead(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderOverhead(rows))
+		}
+	}
+}
+
+// BenchmarkEndToEndSpeedup regenerates the §VI-C speedup study for a
+// representative subset (full sweep in cmd/tmpbench).
+func BenchmarkEndToEndSpeedup(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"data-caching", "xsbench"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Speedup(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderSpeedup(res))
+		}
+	}
+}
+
+// BenchmarkMethodsComparison regenerates the Table-I-quantified
+// profiler comparison (TMP vs AutoNUMA vs BadgerTrap) on two
+// representative workloads.
+func BenchmarkMethodsComparison(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"data-caching", "gups"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MethodsComparison(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderMethods(rows))
+		}
+	}
+}
+
+// --- Ablation benches for the design decisions DESIGN.md calls out ---
+
+// BenchmarkAblationShootdown compares A-bit scanning with and without
+// the TLB shootdown the paper's third optimization omits.
+func BenchmarkAblationShootdown(b *testing.B) {
+	for _, shootdown := range []bool{false, true} {
+		b.Run(fmt.Sprintf("shootdown=%v", shootdown), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := workload.MustNew("data-caching", workload.Config{Seed: 5, FirstPID: 100})
+				cfg := sim.DefaultConfig(w, 4096, 1_500_000)
+				cfg.TMP.Abit.Shootdown = shootdown
+				r, err := sim.New(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := r.Run(sim.Hooks{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("duration=%.2fms abitOverhead=%.3fms",
+						float64(res.DurationNS)/1e6, float64(res.AbitOverheadNS)/1e6)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGatingThreshold sweeps the HWPC gating threshold
+// (the paper uses 20%) on a phase-structured workload.
+func BenchmarkAblationGatingThreshold(b *testing.B) {
+	for _, thr := range []float64{0, 0.2, 0.5, 0.8} {
+		b.Run(fmt.Sprintf("threshold=%.1f", thr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := workload.MustNew("lulesh", workload.Config{Seed: 5, FirstPID: 100})
+				cfg := sim.DefaultConfig(w, 4096, 1_500_000)
+				cfg.TMP.Gating = thr > 0
+				cfg.TMP.HWPC.Threshold = thr
+				r, err := sim.New(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := r.Run(sim.Hooks{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("overhead=%.3f%%", res.OverheadFraction()*100)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEpochLength sweeps the placement epoch around the
+// paper's 1-second choice.
+func BenchmarkAblationEpochLength(b *testing.B) {
+	for _, div := range []int64{10, 1} {
+		epoch := sim.ScaledSecond / div
+		b.Run(fmt.Sprintf("epoch=%dus", epoch/1000), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mk := func() workload.Workload {
+					return workload.MustNew("phase-shift", workload.Config{Seed: 9, FirstPID: 300})
+				}
+				cfg := sim.DefaultPlacementConfig(mk(), 4096, 2_000_000, 8, policy.History{}, core.MethodCombined)
+				cfg.EpochNS = epoch
+				res, err := sim.RunPlacement(cfg, mk())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("hitrate=%.3f promotions=%d", res.Hitrate(), res.Promotions)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRankWeights compares TMP's plain-sum rank against
+// the single-method ranks on the offline Fig. 6 pipeline.
+func BenchmarkAblationRankWeights(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"xsbench"}
+	s := experiments.NewSuite(opts)
+	cp, err := s.Capture("xsbench", ibs.Rate4x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range core.Methods {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hr := policy.EvaluateHitrate(policy.Oracle{}, cp.Result.Epochs, m, 1024)
+				if i == 0 {
+					b.Logf("hitrate=%.3f", hr.Hitrate())
+				}
+			}
+		})
+	}
+}
+
+// --- Component micro-benchmarks -------------------------------------
+
+// BenchmarkMachineExecute measures the simulator's core loop: one
+// reference through TLB, page walk, caches, and memory.
+func BenchmarkMachineExecute(b *testing.B) {
+	for _, name := range []string{"gups", "lulesh", "web-serving"} {
+		b.Run(name, func(b *testing.B) {
+			w := workload.MustNew(name, workload.Config{Seed: 2, FirstPID: 100})
+			cfg := sim.DefaultConfig(w, 1<<30, 1)
+			r, err := sim.New(cfg, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]trace.Ref, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(buf) {
+				w.Fill(buf)
+				for j := range buf {
+					if _, err := r.Machine.Execute(buf[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.SetBytes(64)
+		})
+	}
+}
+
+// BenchmarkWorkloadFill measures reference generation alone.
+func BenchmarkWorkloadFill(b *testing.B) {
+	for _, name := range workload.Names {
+		b.Run(name, func(b *testing.B) {
+			w := workload.MustNew(name, workload.Config{Seed: 2, FirstPID: 100})
+			buf := make([]trace.Ref, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(buf) {
+				w.Fill(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkIBSEngine measures the sampling engine's retire hook.
+func BenchmarkIBSEngine(b *testing.B) {
+	eng, err := ibs.New(ibs.DefaultConfig(4096), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := &trace.Outcome{Source: trace.SrcTier1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ObserveRetire(o, 3)
+	}
+}
+
+// BenchmarkAblationWriteBias compares History against the
+// WriteBiased(PML) policy on the write-split workload, where NVM
+// writes cost twice reads.
+func BenchmarkAblationWriteBias(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		p    policy.Policy
+	}{
+		{"history", policy.History{}},
+		{"write-biased", policy.WriteBiased{Bias: 4}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := workload.MustNew("write-split", workload.Config{Seed: 11, FirstPID: 400})
+				cfg := sim.DefaultPlacementConfig(w, 4096, 2_000_000, 8, arm.p, core.MethodCombined)
+				cfg.TMP.EnablePML = true
+				res, err := sim.RunPlacement(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("duration=%.2fms hitrate=%.3f", float64(res.DurationNS)/1e6, res.Hitrate())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColocationFilter regenerates the process-filter study.
+func BenchmarkColocationFilter(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Colocation(opts, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderColocation(res))
+		}
+	}
+}
+
+// BenchmarkAblationDeliveryMode compares IBS-style per-sample
+// interrupts against LWP/PEBS-style buffered delivery (§II-B) at the
+// same sampling rate.
+func BenchmarkAblationDeliveryMode(b *testing.B) {
+	for _, arm := range []struct {
+		name     string
+		buffered bool
+	}{{"ibs-interrupt", false}, {"lwp-buffered", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := workload.MustNew("gups", workload.Config{Seed: 5, FirstPID: 100})
+				cfg := sim.DefaultConfig(w, 4096, 1_500_000)
+				cfg.TMP.IBS.Buffered = arm.buffered
+				r, err := sim.New(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := r.Run(sim.Hooks{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("duration=%.2fms ibsOverhead=%.3fms delivered=%d",
+						float64(res.DurationNS)/1e6, float64(res.IBSOverheadNS)/1e6,
+						r.Profiler.IBS.Stats().Delivered)
+				}
+			}
+		})
+	}
+}

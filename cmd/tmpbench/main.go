@@ -1,0 +1,230 @@
+// Command tmpbench regenerates every table and figure of the paper's
+// evaluation and writes them under a results directory:
+//
+//	fig2.txt      PTW-to-cache-miss event ratios
+//	table4.txt    pages captured per method and sampling rate (+CSV)
+//	fig3.txt      IBS heatmaps (per-workload ASCII + CSV)
+//	fig4.txt      A-bit heatmaps
+//	fig5.txt      per-page access-count CDFs (+CSV points)
+//	fig6.txt      tier-1 hitrates by policy/method/ratio (+CSV)
+//	overhead.txt  §VI-B profiling overhead study
+//	speedup.txt   §VI-C end-to-end speedups (emulated + native)
+//	methods.txt   Table I quantified: TMP vs AutoNUMA vs BadgerTrap
+//	colocation.txt  process-filter study under consolidation
+//	epochsweep.txt  epoch-length sweep (the paper's 1 s choice)
+//
+// Usage:
+//
+//	tmpbench -out results                 # everything (several minutes)
+//	tmpbench -exp fig6 -workloads gups    # one experiment, one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tieredmem/internal/experiments"
+	"tieredmem/internal/report"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "results", "output directory")
+		exp       = flag.String("exp", "all", "experiment: all, fig2, table4, fig3, fig4, fig5, fig6, overhead, speedup, methods, colocation, epochsweep")
+		refs      = flag.Int("refs", 8_000_000, "references per profiling run")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		scale     = flag.Int("scale", 0, "footprint scale shift")
+		period    = flag.Int("period", 16384, "base (default-rate) IBS op period")
+		gating    = flag.Bool("gating", true, "enable HWPC gating")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all eight)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Seed:       *seed,
+		ScaleShift: *scale,
+		Refs:       *refs,
+		BasePeriod: *period,
+		Gating:     *gating,
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	suite := experiments.NewSuite(opts)
+
+	runs := map[string]func() error{
+		"fig2":       func() error { return runFig2(suite, *out) },
+		"table4":     func() error { return runTable4(suite, *out) },
+		"fig3":       func() error { return runFig3(suite, *out) },
+		"fig4":       func() error { return runFig4(suite, *out) },
+		"fig5":       func() error { return runFig5(suite, *out) },
+		"fig6":       func() error { return runFig6(suite, *out) },
+		"overhead":   func() error { return runOverhead(opts, *out) },
+		"speedup":    func() error { return runSpeedup(opts, *out) },
+		"methods":    func() error { return runMethods(opts, *out) },
+		"colocation": func() error { return runColocation(opts, *out) },
+		"epochsweep": func() error { return runEpochSweep(suite, *out) },
+	}
+	order := []string{"fig2", "table4", "fig3", "fig4", "fig5", "fig6", "overhead", "speedup", "methods", "colocation", "epochsweep"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Fprintf(os.Stderr, "tmpbench: running %s...\n", name)
+			if err := runs[name](); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		return
+	}
+	run, ok := runs[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func writeFile(dir, name, content string) error {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func runFig2(s *experiments.Suite, out string) error {
+	rows, err := experiments.Fig2(s)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "fig2.txt", experiments.RenderFig2(rows))
+}
+
+func runTable4(s *experiments.Suite, out string) error {
+	res, err := experiments.Table4(s)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "table4.txt", experiments.RenderTable4(res)); err != nil {
+		return err
+	}
+	csv := report.NewTable("", "workload", "rate", "abit", "ibs", "both")
+	for _, row := range res.Rows {
+		for _, rate := range experiments.Rates {
+			c := row.ByRate[rate]
+			csv.AddRow(row.Workload, experiments.RateName(rate), c.Abit, c.IBS, c.Both)
+		}
+	}
+	return writeFile(out, "table4.csv", csv.CSV())
+}
+
+func runFig3(s *experiments.Suite, out string) error {
+	maps, err := experiments.Fig3(s)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig3.txt",
+		experiments.RenderHeatmaps("Fig. 3: IBS (4x) access heatmaps", maps)); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, m := range maps {
+		fmt.Fprintf(&b, "# workload=%s\n%s", m.Workload, m.Grid.CSV())
+	}
+	return writeFile(out, "fig3.csv", b.String())
+}
+
+func runFig4(s *experiments.Suite, out string) error {
+	maps, err := experiments.Fig4(s)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig4.txt",
+		experiments.RenderHeatmaps("Fig. 4: A-bit access heatmaps", maps)); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, m := range maps {
+		fmt.Fprintf(&b, "# workload=%s\n%s", m.Workload, m.Grid.CSV())
+	}
+	return writeFile(out, "fig4.csv", b.String())
+}
+
+func runFig5(s *experiments.Suite, out string) error {
+	series, err := experiments.Fig5(s)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig5.txt", experiments.RenderFig5(series)); err != nil {
+		return err
+	}
+	return writeFile(out, "fig5.csv", experiments.Fig5CSV(series))
+}
+
+func runFig6(s *experiments.Suite, out string) error {
+	res, err := experiments.Fig6(s)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig6.txt", experiments.RenderFig6(res)); err != nil {
+		return err
+	}
+	csv := report.NewTable("", "workload", "policy", "method", "ratio", "hitrate")
+	for _, pt := range res.Points {
+		csv.AddRow(pt.Workload, pt.Policy, pt.Method.String(), pt.Ratio, pt.Hitrate)
+	}
+	return writeFile(out, "fig6.csv", csv.CSV())
+}
+
+func runOverhead(opts experiments.Options, out string) error {
+	rows, err := experiments.Overhead(opts)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "overhead.txt", experiments.RenderOverhead(rows))
+}
+
+func runSpeedup(opts experiments.Options, out string) error {
+	res, err := experiments.Speedup(opts)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "speedup.txt", experiments.RenderSpeedup(res))
+}
+
+func runMethods(opts experiments.Options, out string) error {
+	rows, err := experiments.MethodsComparison(opts)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "methods.txt", experiments.RenderMethods(rows))
+}
+
+func runColocation(opts experiments.Options, out string) error {
+	res, err := experiments.Colocation(opts, 16)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "colocation.txt", experiments.RenderColocation(res))
+}
+
+func runEpochSweep(s *experiments.Suite, out string) error {
+	rows, err := experiments.EpochSweep(s, nil)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "epochsweep.txt", experiments.RenderEpochSweep(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmpbench:", err)
+	os.Exit(1)
+}

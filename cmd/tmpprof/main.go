@@ -1,0 +1,134 @@
+// Command tmpprof profiles one Table III workload with TMP on the
+// simulated machine and prints what the profiler saw: detection
+// counts, the hottest pages, access heatmaps, and per-mechanism
+// overhead.
+//
+// Usage:
+//
+//	tmpprof -workload gups -refs 6000000 -rate 4x -heatmap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/experiments"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/report"
+	"tieredmem/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "gups", "workload name: "+strings.Join(append(append([]string{}, workload.Names...), "phase-shift"), ", "))
+		refs    = flag.Int("refs", 6_000_000, "memory references to execute")
+		rateStr = flag.String("rate", "4x", "IBS sampling rate: default, 4x, or 8x")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		scale   = flag.Int("scale", 0, "footprint scale shift (positive shrinks)")
+		period  = flag.Int("period", 16384, "base (default-rate) IBS op period")
+		gating  = flag.Bool("gating", true, "enable HWPC gating of profilers")
+		heat    = flag.Bool("heatmap", false, "print IBS and A-bit heatmaps")
+		topN    = flag.Int("top", 10, "hottest pages to list")
+	)
+	flag.Parse()
+
+	rate, err := parseRate(*rateStr)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{
+		Seed:       *seed,
+		ScaleShift: *scale,
+		Refs:       *refs,
+		BasePeriod: *period,
+		Gating:     *gating,
+		Workloads:  []string{*name},
+	}
+	cp, err := experiments.Profile(opts, *name, rate)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := cp.Result
+	fmt.Printf("workload=%s rate=%s refs=%d duration=%.2fms epochs=%d\n",
+		*name, experiments.RateName(rate), res.Refs, float64(res.DurationNS)/1e6, len(res.Epochs))
+	fmt.Printf("detected pages: abit=%d (leaf PTEs), ibs=%d (4KiB), both=%d\n",
+		len(cp.AbitPages), len(cp.IBSPages), cp.Both())
+	fmt.Printf("faults: minor=%d huge=%d; PTW events=%d, LLC misses=%d\n",
+		res.MinorFaults, res.HugeFaults, cp.STLBMisses, cp.LLCMisses)
+	cpuTime := float64(res.DurationNS) * float64(res.NumCores)
+	fmt.Printf("profiling overhead: ibs=%.3f%% abit=%.3f%% hwpc=%.3f%% (of %d-core time)\n",
+		float64(res.IBSOverheadNS)/cpuTime*100,
+		float64(res.AbitOverheadNS)/cpuTime*100,
+		float64(res.HWPCOverheadNS)/cpuTime*100,
+		res.NumCores)
+
+	// Hottest pages by the combined rank, summed over epochs.
+	totals := make(map[core.PageKey]*core.PageStat)
+	for _, ep := range res.Epochs {
+		for _, ps := range ep.Pages {
+			t, ok := totals[ps.Key]
+			if !ok {
+				c := ps
+				totals[ps.Key] = &c
+				continue
+			}
+			t.Abit += ps.Abit
+			t.Trace += ps.Trace
+			t.True += ps.True
+		}
+	}
+	all := core.EpochStats{}
+	for _, ps := range totals {
+		all.Pages = append(all.Pages, *ps)
+	}
+	ranked := core.RankedPages(all, core.MethodCombined)
+	tab := report.NewTable(fmt.Sprintf("\nTop %d pages by TMP combined rank", *topN),
+		"pid", "vpn", "abit", "ibs", "rank", "true_mem_accesses")
+	for i := 0; i < len(ranked) && i < *topN; i++ {
+		ps := ranked[i]
+		tab.AddRow(ps.Key.PID, fmt.Sprintf("%#x", uint64(ps.Key.VPN)), ps.Abit, ps.Trace,
+			ps.Rank(core.MethodCombined), ps.True)
+	}
+	fmt.Println(tab.Render())
+
+	if *heat {
+		s := experiments.NewSuite(opts)
+		// Reuse the capture we already have when rates match.
+		if rate == ibs.Rate4x {
+			f3, err := experiments.Fig3(s)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderHeatmaps("IBS sample heatmap (Fig. 3 style)", f3))
+			f4, err := experiments.Fig4(s)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderHeatmaps("A-bit heatmap (Fig. 4 style)", f4))
+		} else {
+			fmt.Fprintln(os.Stderr, "tmpprof: -heatmap renders at the 4x rate; rerun with -rate 4x")
+		}
+	}
+}
+
+func parseRate(s string) (int, error) {
+	switch s {
+	case "default", "1x":
+		return ibs.Rate1x, nil
+	case "4x":
+		return ibs.Rate4x, nil
+	case "8x":
+		return ibs.Rate8x, nil
+	default:
+		return 0, fmt.Errorf("tmpprof: unknown rate %q (default, 4x, 8x)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmpprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command tmpsim runs end-to-end tiered-memory placement: one workload
+// on a machine whose fast tier holds only a fraction of the footprint,
+// comparing a placement arm (TMP-driven History/Decay policy) against
+// the first-come-first-allocate baseline, optionally under the
+// BadgerTrap emulation cost model.
+//
+// Usage:
+//
+//	tmpsim -workload data-caching -ratio 16 -policy history -method tmp
+//	tmpsim -workload phase-shift -ratio 8 -emul
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/emul"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "data-caching", "workload name (Table III or phase-shift)")
+		refs    = flag.Int("refs", 6_000_000, "memory references to execute")
+		ratio   = flag.Int("ratio", 16, "footprint:fast-tier capacity ratio")
+		polName = flag.String("policy", "history", "placement policy: history, decay, none (baseline only)")
+		method  = flag.String("method", "tmp", "profiling evidence: abit, ibs, tmp")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		scale   = flag.Int("scale", 0, "footprint scale shift")
+		period  = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
+		useEmul = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
+	)
+	flag.Parse()
+
+	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	var pol policy.Policy
+	switch *polName {
+	case "history":
+		pol = policy.History{}
+	case "decay":
+		pol = policy.NewDecay(0.5)
+	case "none":
+		pol = nil
+	default:
+		fatal(fmt.Errorf("unknown policy %q (history, decay, none)", *polName))
+	}
+
+	mk := func() workload.Workload {
+		return workload.MustNew(*name, workload.Config{Seed: *seed, ScaleShift: *scale, FirstPID: 100})
+	}
+
+	var costs *emul.Costs
+	if *useEmul {
+		c := emul.PaperCosts(0)
+		costs = &c
+	}
+
+	run := func(p policy.Policy) sim.PlacementResult {
+		cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
+		cfg.EmulCosts = costs
+		res, err := sim.RunPlacement(cfg, mk())
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+
+	base := run(nil)
+	fmt.Printf("baseline (first-touch): duration=%.2fms hitrate=%.3f mem_accesses=%d\n",
+		float64(base.DurationNS)/1e6, base.Hitrate(), base.MemAccesses)
+
+	if pol == nil {
+		return
+	}
+	placed := run(pol)
+	fmt.Printf("%s: duration=%.2fms hitrate=%.3f promotions=%d demotions=%d\n",
+		placed.Arm, float64(placed.DurationNS)/1e6, placed.Hitrate(), placed.Promotions, placed.Demotions)
+	if costs != nil {
+		fmt.Printf("emulation: injected=%.2fms over %d protection faults\n",
+			float64(placed.EmulInjected)/1e6, placed.EmulFaults)
+	}
+	fmt.Printf("speedup over first-touch: %.3fx\n",
+		float64(base.DurationNS)/float64(placed.DurationNS))
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch s {
+	case "abit":
+		return core.MethodAbit, nil
+	case "ibs", "trace":
+		return core.MethodTrace, nil
+	case "tmp", "combined":
+		return core.MethodCombined, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (abit, ibs, tmp)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package tieredmem is a from-scratch reproduction of "Dancing in the
+// Dark: Profiling for Tiered Memory" (Choi, Blagodurov, Tseng — IPDPS
+// 2021): the TMP tiered-memory profiler, every hardware substrate it
+// depends on (cores, TLBs, caches, page tables with A/D bits and THP,
+// PMU counters, IBS/PEBS sampling), the Oracle/History placement
+// policies with an epoch-batched page mover, the BadgerTrap-style
+// latency-injection emulator, and deterministic generators for the
+// paper's eight evaluation workloads.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper; the implementation
+// lives under internal/ (see DESIGN.md for the system inventory) and
+// runnable entry points under cmd/ and examples/.
+package tieredmem

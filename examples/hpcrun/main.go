@@ -1,0 +1,63 @@
+// hpcrun: an HPC job with a phase structure that defeats static
+// placement.
+//
+// The phase-shift workload streams a large initialization region once
+// (which fills the fast tier under first-touch) and then hammers
+// Zipf-hot working sets allocated later, alternating the hot half
+// periodically. First-touch strands the fast tier on the dead init
+// pages; TMP's profiling plus the History policy migrates the live hot
+// set in, epoch by epoch. The run also demonstrates the BadgerTrap
+// emulation cost model from the paper's §VI-C.
+//
+//	go run ./examples/hpcrun
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/emul"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/workload"
+)
+
+func main() {
+	const (
+		refs   = 6_000_000
+		ratio  = 8
+		period = 4096
+	)
+	mk := func() workload.Workload {
+		return workload.MustNew("phase-shift", workload.Config{Seed: 9, FirstPID: 300})
+	}
+
+	run := func(p policy.Policy, costs *emul.Costs) sim.PlacementResult {
+		cfg := sim.DefaultPlacementConfig(mk(), period, refs, ratio, p, core.MethodCombined)
+		cfg.EmulCosts = costs
+		res, err := sim.RunPlacement(cfg, mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("== native NVM latencies ==")
+	base := run(nil, nil)
+	tmp := run(policy.History{}, nil)
+	fmt.Printf("first-touch:  %.2fms, hitrate %.3f\n", float64(base.DurationNS)/1e6, base.Hitrate())
+	fmt.Printf("tmp+history:  %.2fms, hitrate %.3f, %d promotions\n",
+		float64(tmp.DurationNS)/1e6, tmp.Hitrate(), tmp.Promotions)
+	fmt.Printf("speedup: %.3fx\n\n", float64(base.DurationNS)/float64(tmp.DurationNS))
+
+	fmt.Println("== BadgerTrap emulation (10us fault, +13us hot, 50us migration) ==")
+	costs := emul.PaperCosts(0)
+	ebase := run(nil, &costs)
+	etmp := run(policy.History{}, &costs)
+	fmt.Printf("first-touch:  %.2fms, %d slow-page faults\n",
+		float64(ebase.DurationNS)/1e6, ebase.EmulFaults)
+	fmt.Printf("tmp+history:  %.2fms, %d slow-page faults\n",
+		float64(etmp.DurationNS)/1e6, etmp.EmulFaults)
+	fmt.Printf("speedup: %.3fx\n", float64(ebase.DurationNS)/float64(etmp.DurationNS))
+}

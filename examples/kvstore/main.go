@@ -1,0 +1,57 @@
+// kvstore: a Data-Caching (memcached-style) service on tiered memory.
+//
+// The fast tier holds 1/16 of the footprint — the paper's 4 GB DRAM /
+// 60 GB NVM shape. The example runs the same request stream twice:
+// once under first-come-first-allocate (the NUMA-like baseline) and
+// once with TMP profiling driving the History policy's epoch-batched
+// page migrations, then compares tier-1 hitrates and end-to-end
+// virtual runtimes.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/workload"
+)
+
+func main() {
+	const (
+		refs   = 6_000_000
+		ratio  = 16   // footprint : fast tier
+		period = 4096 // IBS op period (4x rate)
+	)
+	mk := func() workload.Workload {
+		// 4 memcached-style servers, Zipf-popular keys over big slab
+		// arenas plus hot hash tables.
+		return workload.MustNew("data-caching", workload.Config{Seed: 7, FirstPID: 200})
+	}
+
+	fmt.Println("arm                duration    tier1-hitrate  promotions")
+	baseline, err := sim.RunPlacement(
+		sim.DefaultPlacementConfig(mk(), period, refs, ratio, nil, core.MethodCombined), mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %8.2fms  %12.3f  %10d\n",
+		baseline.Arm, float64(baseline.DurationNS)/1e6, baseline.Hitrate(), baseline.Promotions)
+
+	placed, err := sim.RunPlacement(
+		sim.DefaultPlacementConfig(mk(), period, refs, ratio, policy.History{}, core.MethodCombined), mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %8.2fms  %12.3f  %10d\n",
+		placed.Arm, float64(placed.DurationNS)/1e6, placed.Hitrate(), placed.Promotions)
+
+	fmt.Printf("\nspeedup over first-touch: %.3fx\n",
+		float64(baseline.DurationNS)/float64(placed.DurationNS))
+	fmt.Println("(hot keys are touched early, so first-touch already places most of")
+	fmt.Println(" the hot set well here — the paper's own end-to-end average is 1.04x;")
+	fmt.Println(" run examples/hpcrun for a workload where adaptive placement is decisive)")
+}

@@ -1,0 +1,3 @@
+module tieredmem
+
+go 1.22

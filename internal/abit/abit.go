@@ -1,0 +1,183 @@
+// Package abit implements TMP's A-bit driver (§III-B2): a software
+// mechanism that periodically walks the page tables of profiled
+// processes, test-and-clears the PTE Accessed bit of every valid
+// entry, and accumulates the observations in the page descriptors.
+//
+// Following the paper's third optimization, the driver does NOT issue
+// a TLB shootdown after clearing A bits by default: on x86, clearing
+// the accessed bit without a flush cannot corrupt data, and the stale
+// TLB entry merely delays the next A-bit set until natural eviction.
+// The simulated TLB reproduces that artifact faithfully. A
+// configuration option restores the shootdown for software that
+// requires it (and for the ablation benchmarks).
+package abit
+
+import (
+	"fmt"
+
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/pagetable"
+)
+
+// Config parameterizes the driver.
+type Config struct {
+	// Interval is the virtual-ns period between scans (the paper
+	// walks page tables every second).
+	Interval int64
+	// PerPTECost is the virtual-ns cost of visiting one valid PTE
+	// (TestClearPageReferenced plus bookkeeping).
+	PerPTECost int64
+	// Shootdown, when true, flushes all TLBs after every scan (the
+	// expensive configuration the paper's optimization avoids).
+	Shootdown bool
+}
+
+// DefaultConfig returns the paper's production configuration: 1-second
+// scans, no shootdown.
+func DefaultConfig() Config {
+	return Config{
+		Interval:   1_000_000_000,
+		PerPTECost: 20,
+		Shootdown:  false,
+	}
+}
+
+// Stats exposes driver counters.
+type Stats struct {
+	Scans         uint64
+	PTEsVisited   uint64
+	PagesAccessed uint64 // leaf PTEs found with A set across all scans
+	HugeAccessed  uint64 // of those, 2 MiB leaves
+	OverheadNS    int64
+}
+
+// LeafObserver is notified of every leaf PTE found with its A bit set
+// during a scan; experiment harnesses use it to build detection sets
+// (Table IV) and heatmaps (Fig. 4). now is the virtual scan time; vpn
+// is the leaf's base virtual page and pfn its base frame.
+type LeafObserver func(now int64, pid int, vpn mem.VPN, pfn mem.PFN, huge bool)
+
+// Scanner is the A-bit driver bound to one machine.
+type Scanner struct {
+	cfg      Config
+	machine  *cpu.Machine
+	stats    Stats
+	disabled bool
+	nextScan int64
+	onLeaf   LeafObserver
+}
+
+// New builds a scanner.
+func New(cfg Config, m *cpu.Machine) (*Scanner, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("abit: interval %d must be positive", cfg.Interval)
+	}
+	if cfg.PerPTECost < 0 {
+		return nil, fmt.Errorf("abit: per-PTE cost %d must be non-negative", cfg.PerPTECost)
+	}
+	return &Scanner{cfg: cfg, machine: m, nextScan: cfg.Interval}, nil
+}
+
+// Enable resumes scanning (HWPC gating toggles this).
+func (s *Scanner) Enable() { s.disabled = false }
+
+// Disable pauses scanning.
+func (s *Scanner) Disable() { s.disabled = true }
+
+// Enabled reports whether scans run.
+func (s *Scanner) Enabled() bool { return !s.disabled }
+
+// Due reports whether a scan is due at virtual time now.
+func (s *Scanner) Due(now int64) bool { return now >= s.nextScan }
+
+// ScanResult summarizes one scan.
+type ScanResult struct {
+	PTEsVisited   int
+	PagesAccessed int // leaf PTEs with A set (a huge leaf counts once)
+	HugeAccessed  int
+	CostNS        int64
+}
+
+// SetLeafObserver registers the per-leaf observation hook.
+func (s *Scanner) SetLeafObserver(fn LeafObserver) { s.onLeaf = fn }
+
+// ScanIfDue runs a scan when the interval has elapsed. pids selects
+// the processes to walk (the TMP daemon's resource filter supplies
+// this set; Table I: A-bit overhead is proportional to the PIDs
+// covered). The returned cost has already been added to the stats; the
+// caller charges it to the core running the daemon.
+func (s *Scanner) ScanIfDue(now int64, pids []int) (ScanResult, bool) {
+	if !s.Due(now) {
+		return ScanResult{}, false
+	}
+	// Schedule strictly forward even if the caller checked late.
+	for s.nextScan <= now {
+		s.nextScan += s.cfg.Interval
+	}
+	if s.disabled {
+		return ScanResult{}, false
+	}
+	return s.Scan(now, pids), true
+}
+
+// Scan walks the page tables of the given processes immediately,
+// harvesting and clearing A bits — gather_a_history() in the paper.
+// A 2 MiB leaf yields one observation (one PTE, one A bit): that
+// observation is credited to all 512 backing frames' descriptors,
+// because the A bit genuinely cannot say which 4 KiB page inside the
+// huge mapping was touched. That granularity loss is real and is what
+// trace-based profiling compensates for.
+func (s *Scanner) Scan(now int64, pids []int) ScanResult {
+	var res ScanResult
+	phys := s.machine.Phys
+	for _, pid := range pids {
+		table, ok := s.machine.Tables()[pid]
+		if !ok {
+			continue
+		}
+		visited := table.WalkRange(func(vpn mem.VPN, pte *pagetable.PTE, huge bool) bool {
+			if !pte.Accessed() {
+				return true
+			}
+			res.PagesAccessed++
+			base := pte.PFN()
+			if huge {
+				res.HugeAccessed++
+				for i := 0; i < mem.HugePages; i++ {
+					pd := phys.Page(base + mem.PFN(i))
+					if pd.AbitEpoch != ^uint32(0) {
+						pd.AbitEpoch++
+					}
+				}
+			} else {
+				pd := phys.Page(base)
+				if pd.AbitEpoch != ^uint32(0) {
+					pd.AbitEpoch++
+				}
+			}
+			if s.onLeaf != nil {
+				s.onLeaf(now, pid, vpn, base, huge)
+			}
+			*pte &^= pagetable.BitAccessed
+			return true
+		})
+		res.PTEsVisited += visited
+	}
+	res.CostNS = s.machine.SoftCost(int64(res.PTEsVisited) * s.cfg.PerPTECost)
+	if s.cfg.Shootdown {
+		res.CostNS += s.machine.FlushAllTLBs()
+	}
+	s.stats.Scans++
+	s.stats.PTEsVisited += uint64(res.PTEsVisited)
+	s.stats.PagesAccessed += uint64(res.PagesAccessed)
+	s.stats.HugeAccessed += uint64(res.HugeAccessed)
+	s.stats.OverheadNS += res.CostNS
+	return res
+}
+
+// Stats returns a copy of the counters.
+func (s *Scanner) Stats() Stats { return s.stats }
+
+// Interval returns the configured scan period.
+func (s *Scanner) Interval() int64 { return s.cfg.Interval }

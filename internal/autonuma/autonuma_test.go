@@ -1,0 +1,171 @@
+package autonuma
+
+import (
+	"testing"
+
+	"tieredmem/internal/cache"
+	"tieredmem/internal/core"
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/tlb"
+	"tieredmem/internal/trace"
+)
+
+func testMachine(t *testing.T) *cpu.Machine {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 2
+	cfg.PrefetchDegree = 0
+	cfg.CtxSwitchNS = 0
+	cfg.L1D = cache.Config{SizeBytes: 4 << 10, Ways: 2}
+	cfg.L2 = cache.Config{SizeBytes: 16 << 10, Ways: 4}
+	cfg.LLC = cache.Config{SizeBytes: 64 << 10, Ways: 4}
+	cfg.L1TLB = tlb.Config{Entries: 16, Ways: 4}
+	cfg.L2TLB = tlb.Config{Entries: 64, Ways: 4}
+	m, err := cpu.NewMachine(cfg, mem.DefaultTiers(128, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func touch(t *testing.T, m *cpu.Machine, pid int, vaddr uint64) {
+	t.Helper()
+	if _, err := m.Execute(trace.Ref{PID: pid, VAddr: vaddr, Kind: trace.Load}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassProtectsAndFaultsReveal(t *testing.T) {
+	m := testMachine(t)
+	sc, err := New(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	cost := sc.Pass([]int{1})
+	if cost <= 0 {
+		t.Errorf("protection pass cost = %d", cost)
+	}
+	if sc.Stats().Protected != 8 {
+		t.Fatalf("protected %d PTEs, want 8", sc.Stats().Protected)
+	}
+	// The next access to each page takes exactly one hint fault.
+	for i := uint64(0); i < 8; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	if m.HintFaults != 8 {
+		t.Fatalf("hint faults = %d, want 8", m.HintFaults)
+	}
+	if sc.DistinctPages() != 8 {
+		t.Errorf("distinct pages observed = %d, want 8", sc.DistinctPages())
+	}
+	// The hint is consumed: re-access does not fault again.
+	for i := uint64(0); i < 8; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	if m.HintFaults != 8 {
+		t.Errorf("hint faults re-fired: %d", m.HintFaults)
+	}
+}
+
+func TestWindowLimitsAndCursorAdvances(t *testing.T) {
+	m := testMachine(t)
+	cfg := DefaultConfig()
+	cfg.WindowPages = 4
+	sc, _ := New(cfg, m)
+	for i := uint64(0); i < 10; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	sc.Pass([]int{1})
+	if sc.Stats().Protected != 4 {
+		t.Fatalf("first pass protected %d, want 4", sc.Stats().Protected)
+	}
+	sc.Pass([]int{1})
+	if sc.Stats().Protected != 8 {
+		t.Fatalf("second pass total %d, want 8 (cursor advanced)", sc.Stats().Protected)
+	}
+	// Touch all; only 8 distinct pages had been protected.
+	for i := uint64(0); i < 10; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	if m.HintFaults != 8 {
+		t.Errorf("hint faults = %d, want 8", m.HintFaults)
+	}
+}
+
+func TestCursorWrapsAround(t *testing.T) {
+	m := testMachine(t)
+	cfg := DefaultConfig()
+	cfg.WindowPages = 6
+	sc, _ := New(cfg, m)
+	for i := uint64(0); i < 8; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	sc.Pass([]int{1}) // pages 0..5
+	sc.Pass([]int{1}) // pages 6,7 then wraps to 0..3
+	if sc.Stats().Protected != 12 {
+		t.Errorf("wrapped pass total %d, want 12", sc.Stats().Protected)
+	}
+}
+
+func TestHarvestEpochShape(t *testing.T) {
+	m := testMachine(t)
+	sc, _ := New(DefaultConfig(), m)
+	touch(t, m, 1, 0x1000)
+	sc.Pass([]int{1})
+	touch(t, m, 1, 0x1000)
+	ep := sc.HarvestEpoch(3)
+	if ep.Epoch != 3 || len(ep.Pages) != 1 {
+		t.Fatalf("harvest = %+v", ep)
+	}
+	if ep.Pages[0].Key != (core.PageKey{PID: 1, VPN: 1}) || ep.Pages[0].Abit != 1 {
+		t.Errorf("observation wrong: %+v", ep.Pages[0])
+	}
+	if sc.DistinctPages() != 0 {
+		t.Errorf("harvest did not reset the accumulator")
+	}
+}
+
+func TestPassIfDueSchedule(t *testing.T) {
+	m := testMachine(t)
+	cfg := DefaultConfig()
+	cfg.Interval = 1000
+	sc, _ := New(cfg, m)
+	touch(t, m, 1, 0x1000)
+	if _, ran := sc.PassIfDue(999, []int{1}); ran {
+		t.Errorf("pass ran early")
+	}
+	if _, ran := sc.PassIfDue(1000, []int{1}); !ran {
+		t.Errorf("pass did not run on time")
+	}
+}
+
+func TestFaultCostCharged(t *testing.T) {
+	m := testMachine(t)
+	sc, _ := New(DefaultConfig(), m)
+	touch(t, m, 1, 0x1000)
+	sc.Pass([]int{1})
+	core0 := m.CoreFor(1)
+	before := core0.Now()
+	touch(t, m, 1, 0x1000)
+	// The hint fault's cost lands in the access latency.
+	if core0.Now()-before < sc.cfg.FaultCost {
+		t.Errorf("hint-fault cost not charged: %d", core0.Now()-before)
+	}
+	if sc.Stats().OverheadNS == 0 {
+		t.Errorf("overhead not recorded")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	m := testMachine(t)
+	if _, err := New(Config{Interval: 0, WindowPages: 1}, m); err == nil {
+		t.Errorf("zero interval accepted")
+	}
+	if _, err := New(Config{Interval: 1, WindowPages: 0}, m); err == nil {
+		t.Errorf("zero window accepted")
+	}
+}

@@ -1,0 +1,352 @@
+// Package core implements TMP, the tiered-memory profiler that is the
+// paper's primary contribution. TMP combines three monitoring
+// mechanisms — trace-based sampling (IBS/PEBS), PTE A-bit scanning,
+// and hardware performance counters — into a single vendor-agnostic
+// per-page hotness ranking that placement policies consume. The
+// profiler is transparent: workloads need no modification; TMP
+// observes retirement and page tables from the side, pays its costs in
+// virtual time charged to the core running the daemon, and exposes a
+// simple ranked-pages interface (§III, §IV step 1).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tieredmem/internal/abit"
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/hwpc"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/pml"
+	"tieredmem/internal/pmu"
+	"tieredmem/internal/trace"
+)
+
+// Method selects which monitoring evidence feeds a hotness rank. The
+// paper's Fig. 6 compares the three arms.
+type Method int
+
+const (
+	// MethodAbit ranks by A-bit observations alone.
+	MethodAbit Method = iota
+	// MethodTrace ranks by IBS/PEBS samples alone.
+	MethodTrace
+	// MethodCombined is TMP's rank: the plain sum of both (§IV
+	// step 1 — Fig. 2 shows the event populations are the same order
+	// of magnitude, so neither source is drowned out).
+	MethodCombined
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodAbit:
+		return "abit"
+	case MethodTrace:
+		return "ibs"
+	case MethodCombined:
+		return "tmp"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Methods lists all ranking arms in presentation order.
+var Methods = []Method{MethodAbit, MethodTrace, MethodCombined}
+
+// PageKey identifies a logical page independent of its current frame,
+// so rankings survive migration.
+type PageKey struct {
+	PID int
+	VPN mem.VPN
+}
+
+// PageStat is one page's per-epoch observation record.
+type PageStat struct {
+	Key   PageKey
+	Tier  mem.TierID
+	Abit  uint32 // A-bit observations this epoch
+	Trace uint32 // IBS/PEBS samples this epoch
+	Write uint32 // PML D-bit-set events this epoch (optional extension)
+	True  uint32 // ground-truth memory accesses this epoch (simulator only)
+}
+
+// Rank returns the page's hotness under a method.
+func (p *PageStat) Rank(m Method) uint64 {
+	switch m {
+	case MethodAbit:
+		return uint64(p.Abit)
+	case MethodTrace:
+		return uint64(p.Trace)
+	default:
+		return uint64(p.Abit) + uint64(p.Trace)
+	}
+}
+
+// UsageFunc reports a process's resource usage as fractions of the
+// machine total: CPU share and memory share. The TMP daemon filters
+// processes with it (§III-B4, second optimization: profile processes
+// with at least 5% CPU or 10% memory).
+type UsageFunc func(pid int) (cpuFrac, memFrac float64)
+
+// Config parameterizes TMP.
+type Config struct {
+	IBS  ibs.Config
+	Abit abit.Config
+	HWPC hwpc.Config
+	// Gating enables the HWPC-driven on/off control of the two
+	// expensive mechanisms.
+	Gating bool
+	// CPUFilterMin and MemFilterMin are the daemon's process-filter
+	// thresholds; a process is profiled when either is met.
+	CPUFilterMin float64
+	MemFilterMin float64
+	// FilterInterval is the virtual-ns period between process-filter
+	// re-evaluations (the paper re-evaluates once per second).
+	FilterInterval int64
+	// DaemonCore is the core index that pays profiling costs.
+	DaemonCore int
+	// EnablePML attaches the Page-Modification Logging engine so
+	// harvests also carry per-page write heat (extension; see the
+	// pml package).
+	EnablePML bool
+	// PML configures the engine when EnablePML is set.
+	PML pml.Config
+}
+
+// DefaultConfig returns the paper's production settings at a given IBS
+// op period.
+func DefaultConfig(ibsPeriod int) Config {
+	return Config{
+		IBS:            ibs.DefaultConfig(ibsPeriod),
+		Abit:           abit.DefaultConfig(),
+		HWPC:           hwpc.DefaultConfig(),
+		Gating:         true,
+		CPUFilterMin:   0.05,
+		MemFilterMin:   0.10,
+		FilterInterval: 1_000_000_000,
+		DaemonCore:     0,
+		PML:            pml.DefaultConfig(),
+	}
+}
+
+// Profiler is the TMP instance bound to one machine.
+type Profiler struct {
+	cfg     Config
+	machine *cpu.Machine
+
+	IBS     *ibs.Engine
+	Abit    *abit.Scanner
+	Monitor *hwpc.Monitor
+	// PML is non-nil when Config.EnablePML is set.
+	PML *pml.Engine
+
+	usage      UsageFunc
+	registered []int // PIDs the daemon was told about
+	profiled   []int // PIDs passing the resource filter
+	nextFilter int64
+
+	// onSample, when set, observes every delivered trace sample at
+	// drain time (experiment harnesses build detection sets and
+	// heatmaps with it).
+	onSample func(s trace.Sample)
+
+	epoch int
+}
+
+// New wires a profiler into a machine. usage may be nil, in which case
+// every registered process is profiled (the filter needs usage data).
+func New(cfg Config, m *cpu.Machine, usage UsageFunc) (*Profiler, error) {
+	eng, err := ibs.New(cfg.IBS, m.Phys)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := abit.New(cfg.Abit, m)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := hwpc.New(cfg.HWPC, m)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profiler{
+		cfg:        cfg,
+		machine:    m,
+		IBS:        eng,
+		Abit:       sc,
+		Monitor:    mon,
+		usage:      usage,
+		nextFilter: cfg.FilterInterval,
+	}
+	// Trace samples accumulate into the page descriptor at drain time
+	// (phys_to_page on the sample's physical address, §III-B1).
+	eng.SetAccumulator(func(s trace.Sample, pd *mem.PageDescriptor) {
+		if pd != nil && pd.TraceEpoch != ^uint32(0) {
+			pd.TraceEpoch++
+		}
+		if p.onSample != nil {
+			p.onSample(s)
+		}
+	})
+	m.AddObserver(eng)
+	if cfg.EnablePML {
+		pe, err := pml.New(cfg.PML, m.Phys)
+		if err != nil {
+			return nil, err
+		}
+		p.PML = pe
+		m.AddObserver(pe)
+	}
+	if cfg.Gating {
+		// Trace-based profiling follows LLC misses; A-bit profiling
+		// follows TLB misses (§III-A).
+		mon.Gate(pmu.EvLLCMiss, eng)
+		mon.Gate(pmu.EvSTLBMiss, sc)
+	}
+	return p, nil
+}
+
+// SetSampleObserver registers a hook that sees every delivered trace
+// sample (after page-descriptor accumulation).
+func (p *Profiler) SetSampleObserver(fn func(s trace.Sample)) { p.onSample = fn }
+
+// Register tells the daemon about a program's process (the user adds a
+// program; the daemon collects PIDs of everything it forks).
+func (p *Profiler) Register(pid int) {
+	for _, existing := range p.registered {
+		if existing == pid {
+			return
+		}
+	}
+	p.registered = append(p.registered, pid)
+	p.refilter()
+}
+
+// Profiled returns the PIDs currently passing the resource filter.
+func (p *Profiler) Profiled() []int { return p.profiled }
+
+// refilter applies the 5% CPU / 10% memory rule.
+func (p *Profiler) refilter() {
+	p.profiled = p.profiled[:0]
+	for _, pid := range p.registered {
+		if p.usage == nil {
+			p.profiled = append(p.profiled, pid)
+			continue
+		}
+		cpuFrac, memFrac := p.usage(pid)
+		if cpuFrac >= p.cfg.CPUFilterMin || memFrac >= p.cfg.MemFilterMin {
+			p.profiled = append(p.profiled, pid)
+		}
+	}
+}
+
+// Tick drives the daemon at virtual time now: HWPC gating, periodic
+// A-bit scans, and process-filter re-evaluation. All incurred cost is
+// charged to the daemon core so profiling overhead shows up in
+// end-to-end run time.
+func (p *Profiler) Tick(now int64) {
+	var cost int64
+	if p.cfg.Gating {
+		c, _ := p.Monitor.TickIfDue(now)
+		cost += c
+	}
+	if res, ran := p.Abit.ScanIfDue(now, p.profiled); ran {
+		cost += res.CostNS
+	}
+	if now >= p.nextFilter {
+		for p.nextFilter <= now {
+			p.nextFilter += p.cfg.FilterInterval
+		}
+		p.refilter()
+	}
+	if cost > 0 {
+		p.machine.Core(p.cfg.DaemonCore).AdvanceClock(cost)
+	}
+}
+
+// EpochStats is the harvest of one epoch.
+type EpochStats struct {
+	Epoch int
+	Pages []PageStat
+}
+
+// HarvestEpoch flushes pending trace samples, snapshots every
+// allocated page's epoch counters, resets them, and advances the epoch
+// index. This is the profiler-policy interface: the policy engine sees
+// ranked pages, not monitoring detail.
+func (p *Profiler) HarvestEpoch() EpochStats {
+	p.IBS.Flush()
+	if p.PML != nil {
+		p.PML.Flush()
+	}
+	stats := EpochStats{Epoch: p.epoch}
+	p.machine.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
+		if pd.AbitEpoch == 0 && pd.TraceEpoch == 0 && pd.WriteEpoch == 0 && pd.TrueEpoch == 0 {
+			return
+		}
+		stats.Pages = append(stats.Pages, PageStat{
+			Key:   PageKey{PID: pd.PID, VPN: pd.VPage},
+			Tier:  pd.Tier,
+			Abit:  pd.AbitEpoch,
+			Trace: pd.TraceEpoch,
+			Write: pd.WriteEpoch,
+			True:  pd.TrueEpoch,
+		})
+	})
+	p.machine.Phys.ResetEpochAll()
+	p.epoch++
+	return stats
+}
+
+// Epoch returns the index of the epoch currently being collected.
+func (p *Profiler) Epoch() int { return p.epoch }
+
+// RankedPages sorts a harvest by descending hotness under a method.
+// Rank ties are broken in favour of pages already resident in the fast
+// tier — A-bit evidence is at most one observation per scan, so large
+// tie groups are common, and preferring residents is the hysteresis
+// that "eliminates excessive migration" (§II-A); remaining ties order
+// deterministically by (PID, VPN). Pages with zero rank under the
+// method are excluded — the profiler never saw them.
+func RankedPages(stats EpochStats, m Method) []PageStat {
+	out := make([]PageStat, 0, len(stats.Pages))
+	for _, ps := range stats.Pages {
+		if ps.Rank(m) > 0 {
+			out = append(out, ps)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Rank(m), out[j].Rank(m)
+		if ri != rj {
+			return ri > rj
+		}
+		iFast, jFast := out[i].Tier == mem.FastTier, out[j].Tier == mem.FastTier
+		if iFast != jFast {
+			return iFast
+		}
+		if out[i].Key.PID != out[j].Key.PID {
+			return out[i].Key.PID < out[j].Key.PID
+		}
+		return out[i].Key.VPN < out[j].Key.VPN
+	})
+	return out
+}
+
+// OverheadNS returns total profiling overhead charged so far, split by
+// mechanism.
+func (p *Profiler) OverheadNS() (ibsNS, abitNS, hwpcNS int64) {
+	return p.IBS.Stats().OverheadNS, p.Abit.Stats().OverheadNS, p.Monitor.OverheadNS
+}
+
+// RanksOf builds a hotness map for a harvest under a method; the page
+// mover uses it to demote coldest-first.
+func RanksOf(stats EpochStats, m Method) map[PageKey]uint64 {
+	out := make(map[PageKey]uint64, len(stats.Pages))
+	for _, ps := range stats.Pages {
+		if r := ps.Rank(m); r > 0 {
+			out[ps.Key] = r
+		}
+	}
+	return out
+}

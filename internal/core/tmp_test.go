@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"tieredmem/internal/cache"
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/tlb"
+	"tieredmem/internal/trace"
+)
+
+func testMachine(t *testing.T, frames int) *cpu.Machine {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 2
+	cfg.PrefetchDegree = 0
+	cfg.L1D = cache.Config{SizeBytes: 4 << 10, Ways: 2}
+	cfg.L2 = cache.Config{SizeBytes: 16 << 10, Ways: 4}
+	cfg.LLC = cache.Config{SizeBytes: 64 << 10, Ways: 4}
+	cfg.L1TLB = tlb.Config{Entries: 16, Ways: 4}
+	cfg.L2TLB = tlb.Config{Entries: 64, Ways: 4}
+	m, err := cpu.NewMachine(cfg, mem.DefaultTiers(frames, frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// smallConfig keeps intervals tiny so ticks fire within a test.
+func smallConfig() Config {
+	cfg := DefaultConfig(64)
+	cfg.Abit.Interval = 10_000
+	cfg.HWPC.Window = 1_000
+	cfg.FilterInterval = 10_000
+	return cfg
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodAbit.String() != "abit" || MethodTrace.String() != "ibs" || MethodCombined.String() != "tmp" {
+		t.Errorf("method names wrong")
+	}
+	if Method(9).String() != "method(9)" {
+		t.Errorf("unknown method name wrong")
+	}
+}
+
+func TestRankPerMethod(t *testing.T) {
+	ps := PageStat{Abit: 2, Trace: 3}
+	if ps.Rank(MethodAbit) != 2 || ps.Rank(MethodTrace) != 3 || ps.Rank(MethodCombined) != 5 {
+		t.Errorf("ranks = %d/%d/%d", ps.Rank(MethodAbit), ps.Rank(MethodTrace), ps.Rank(MethodCombined))
+	}
+}
+
+func TestProcessFilter(t *testing.T) {
+	m := testMachine(t, 64)
+	usage := map[int][2]float64{
+		1: {0.50, 0.01}, // CPU-heavy: in
+		2: {0.01, 0.50}, // memory-heavy: in
+		3: {0.01, 0.01}, // idle: out
+		4: {0.05, 0.00}, // exactly at the CPU bound: in
+	}
+	p, err := New(smallConfig(), m, func(pid int) (float64, float64) {
+		u := usage[pid]
+		return u[0], u[1]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 1; pid <= 4; pid++ {
+		p.Register(pid)
+	}
+	got := map[int]bool{}
+	for _, pid := range p.Profiled() {
+		got[pid] = true
+	}
+	if !got[1] || !got[2] || got[3] || !got[4] {
+		t.Errorf("profiled set = %v, want {1,2,4}", p.Profiled())
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	m := testMachine(t, 64)
+	p, _ := New(smallConfig(), m, nil)
+	p.Register(1)
+	p.Register(1)
+	if len(p.Profiled()) != 1 {
+		t.Errorf("duplicate registration: %v", p.Profiled())
+	}
+}
+
+func TestFilterReevaluatedOnInterval(t *testing.T) {
+	m := testMachine(t, 64)
+	pass := false
+	p, _ := New(smallConfig(), m, func(pid int) (float64, float64) {
+		if pass {
+			return 1, 1
+		}
+		return 0, 0
+	})
+	p.Register(1)
+	if len(p.Profiled()) != 0 {
+		t.Fatalf("idle process profiled")
+	}
+	pass = true
+	p.Tick(10_000) // filter interval elapsed
+	if len(p.Profiled()) != 1 {
+		t.Errorf("filter not re-evaluated at the interval")
+	}
+}
+
+func TestHarvestAggregatesAndResets(t *testing.T) {
+	m := testMachine(t, 64)
+	p, _ := New(smallConfig(), m, nil)
+	p.Register(1)
+	// Touch pages, then force a scan so A-bit evidence exists.
+	for i := uint64(0); i < 8; i++ {
+		if _, err := m.Execute(trace.Ref{PID: 1, VAddr: i * 4096, Kind: trace.Load}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Abit.Scan(0, []int{1})
+	ep := p.HarvestEpoch()
+	if len(ep.Pages) != 8 {
+		t.Fatalf("harvested %d pages, want 8", len(ep.Pages))
+	}
+	for _, ps := range ep.Pages {
+		if ps.Abit != 1 {
+			t.Errorf("page %v Abit = %d, want 1", ps.Key, ps.Abit)
+		}
+		if ps.True != 1 {
+			t.Errorf("page %v True = %d, want 1 (one cold miss)", ps.Key, ps.True)
+		}
+	}
+	// Second harvest with no activity: empty.
+	ep2 := p.HarvestEpoch()
+	if len(ep2.Pages) != 0 {
+		t.Errorf("second harvest has %d pages, want 0 (counters reset)", len(ep2.Pages))
+	}
+	if ep2.Epoch != 1 {
+		t.Errorf("epoch index = %d, want 1", ep2.Epoch)
+	}
+}
+
+func TestTickChargesDaemonCore(t *testing.T) {
+	m := testMachine(t, 64)
+	cfg := smallConfig()
+	cfg.Gating = false
+	p, _ := New(cfg, m, nil)
+	p.Register(1)
+	for i := uint64(0); i < 32; i++ {
+		m.Execute(trace.Ref{PID: 1, VAddr: i * 4096, Kind: trace.Load})
+	}
+	before := m.Core(cfg.DaemonCore).Now()
+	p.Tick(cfg.Abit.Interval) // scan due
+	if m.Core(cfg.DaemonCore).Now() <= before {
+		t.Errorf("A-bit scan cost not charged to the daemon core")
+	}
+}
+
+func TestRankedPagesOrderingAndTieBreaks(t *testing.T) {
+	stats := EpochStats{Pages: []PageStat{
+		{Key: PageKey{1, 10}, Tier: mem.SlowTier, Abit: 1, Trace: 0},
+		{Key: PageKey{1, 11}, Tier: mem.FastTier, Abit: 1, Trace: 0},
+		{Key: PageKey{1, 12}, Tier: mem.SlowTier, Abit: 1, Trace: 5},
+		{Key: PageKey{1, 13}, Tier: mem.SlowTier, Abit: 0, Trace: 0}, // rank 0: excluded
+		{Key: PageKey{2, 9}, Tier: mem.SlowTier, Abit: 1, Trace: 0},
+	}}
+	ranked := RankedPages(stats, MethodCombined)
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d pages, want 4 (zero-rank excluded)", len(ranked))
+	}
+	if ranked[0].Key != (PageKey{1, 12}) {
+		t.Errorf("highest rank not first: %v", ranked[0].Key)
+	}
+	// Tie group (rank 1): fast-tier resident first (hysteresis), then
+	// by (PID, VPN).
+	if ranked[1].Key != (PageKey{1, 11}) {
+		t.Errorf("fast-tier resident not preferred on tie: %v", ranked[1].Key)
+	}
+	if ranked[2].Key != (PageKey{1, 10}) || ranked[3].Key != (PageKey{2, 9}) {
+		t.Errorf("deterministic tie-break broken: %v, %v", ranked[2].Key, ranked[3].Key)
+	}
+}
+
+func TestRanksOf(t *testing.T) {
+	stats := EpochStats{Pages: []PageStat{
+		{Key: PageKey{1, 1}, Abit: 2, Trace: 1},
+		{Key: PageKey{1, 2}, Abit: 0, Trace: 0},
+	}}
+	ranks := RanksOf(stats, MethodCombined)
+	if len(ranks) != 1 || ranks[PageKey{1, 1}] != 3 {
+		t.Errorf("RanksOf = %v", ranks)
+	}
+}
+
+func TestTraceAccumulationIntoDescriptors(t *testing.T) {
+	m := testMachine(t, 64)
+	cfg := smallConfig()
+	cfg.IBS.Period = 1 // tag every op
+	cfg.Gating = false
+	p, _ := New(cfg, m, nil)
+	p.Register(1)
+	var observed int
+	p.SetSampleObserver(func(s trace.Sample) { observed++ })
+	// Cold misses are memory-sourced: samples are delivered.
+	for i := uint64(0); i < 8; i++ {
+		m.Execute(trace.Ref{PID: 1, VAddr: i * 4096, Kind: trace.Load})
+	}
+	ep := p.HarvestEpoch()
+	var traceSum uint32
+	for _, ps := range ep.Pages {
+		traceSum += ps.Trace
+	}
+	if traceSum == 0 {
+		t.Errorf("no trace evidence accumulated at period 1")
+	}
+	if observed == 0 {
+		t.Errorf("sample observer never invoked")
+	}
+}
+
+func TestOverheadNSAccessors(t *testing.T) {
+	m := testMachine(t, 64)
+	p, _ := New(smallConfig(), m, nil)
+	ibsNS, abitNS, hwpcNS := p.OverheadNS()
+	if ibsNS != 0 || abitNS != 0 || hwpcNS != 0 {
+		t.Errorf("fresh profiler reports overhead %d/%d/%d", ibsNS, abitNS, hwpcNS)
+	}
+}

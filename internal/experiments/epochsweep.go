@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/report"
+)
+
+// EpochSweepRow is one epoch-length arm of the sweep: the offline
+// History-policy hitrate and the migration churn it induces at a 1/16
+// capacity.
+type EpochSweepRow struct {
+	Workload string
+	// EpochMultiple is the epoch length in scaled seconds: 1 is the
+	// paper's choice; larger values accumulate more evidence per
+	// horizon but react slower.
+	EpochMultiple int
+	Hitrate       float64
+	// MigratedPerEpoch is the average selection churn, the paper's
+	// reason for epoch-based batching in the first place.
+	MigratedPerEpoch float64
+	Epochs           int
+}
+
+// EpochSweep evaluates the epoch-length choice (§IV: "hotness rankings
+// accumulated over a period of time — the epoch duration"): shorter
+// epochs react faster but accumulate less evidence per horizon and
+// churn more migrations; longer epochs smooth evidence but lag phase
+// changes. The sweep re-buckets one profiling run's harvests into
+// coarser horizons, so every arm ranks identical observations.
+func EpochSweep(s *Suite, multiples []int) ([]EpochSweepRow, error) {
+	if len(multiples) == 0 {
+		multiples = []int{1, 2, 4, 8}
+	}
+	var rows []EpochSweepRow
+	for _, name := range s.Opts.workloads() {
+		cp, err := s.Capture(name, ibs.Rate4x)
+		if err != nil {
+			return nil, err
+		}
+		base := cp.Result.Epochs
+		foot := footprintPages(base)
+		capacity := policy.CapacityForRatio(foot, 16)
+		for _, mult := range multiples {
+			epochs := rebucket(base, mult)
+			hr := policy.EvaluateHitrate(policy.History{}, epochs, core.MethodCombined, capacity)
+			row := EpochSweepRow{
+				Workload:      name,
+				EpochMultiple: mult,
+				Hitrate:       hr.Hitrate(),
+				Epochs:        len(epochs),
+			}
+			if len(epochs) > 1 {
+				row.MigratedPerEpoch = float64(hr.Migrated) / float64(len(epochs)-1)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// rebucket merges groups of `div` consecutive base epochs into one
+// coarser epoch (div=1 returns the input). The base harvests were cut
+// at the finest horizon of interest; merging reproduces what a longer
+// epoch would have accumulated.
+func rebucket(base []core.EpochStats, div int) []core.EpochStats {
+	if div <= 1 {
+		return base
+	}
+	var out []core.EpochStats
+	for start := 0; start < len(base); start += div {
+		end := start + div
+		if end > len(base) {
+			end = len(base)
+		}
+		merged := core.EpochStats{Epoch: len(out)}
+		acc := make(map[core.PageKey]*core.PageStat)
+		for _, ep := range base[start:end] {
+			for _, ps := range ep.Pages {
+				t, ok := acc[ps.Key]
+				if !ok {
+					c := ps
+					acc[ps.Key] = &c
+					continue
+				}
+				t.Abit += ps.Abit
+				t.Trace += ps.Trace
+				t.Write += ps.Write
+				t.True += ps.True
+				t.Tier = ps.Tier // last placement wins
+			}
+		}
+		for _, ps := range acc {
+			merged.Pages = append(merged.Pages, *ps)
+		}
+		out = append(out, merged)
+	}
+	return out
+}
+
+// RenderEpochSweep draws the sweep in scaled epoch lengths relative to
+// the paper's 1-second choice.
+func RenderEpochSweep(rows []EpochSweepRow) string {
+	t := report.NewTable(
+		"Epoch-length sweep: History policy at 1/16 capacity",
+		"workload", "epoch", "epochs", "hitrate", "migrated/epoch")
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmt.Sprintf("%d s", r.EpochMultiple), r.Epochs,
+			r.Hitrate, fmt.Sprintf("%.0f", r.MigratedPerEpoch))
+	}
+	return t.Render() + "\nLonger epochs accumulate more evidence per horizon (History reacts\nslower but mispredicts less per migration); the totals quantify the knee.\n"
+}

@@ -1,0 +1,194 @@
+// Package experiments implements the paper's evaluation: one function
+// per table and figure (Fig. 2, Table IV, Fig. 3, Fig. 4, Fig. 5,
+// Fig. 6, the §VI-B overhead study, and the §VI-C end-to-end
+// speedups), each returning structured results plus renderers that
+// print the same rows and series the paper reports. cmd/tmpbench and
+// the root bench_test.go drive these.
+package experiments
+
+import (
+	"fmt"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/pmu"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/trace"
+	"tieredmem/internal/workload"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	// Seed drives every workload generator.
+	Seed int64
+	// ScaleShift shrinks workload footprints (see workload.Config).
+	ScaleShift int
+	// Refs is the per-workload reference count.
+	Refs int
+	// BasePeriod is the op period of the paper's "default" IBS
+	// sampling rate, scaled for laptop-size streams; 4x rate divides
+	// it by 4, 8x by 8. (The paper's hardware default is 262144.)
+	BasePeriod int
+	// Gating enables HWPC-driven profiler on/off control.
+	Gating bool
+	// Workloads selects Table III names; nil means all eight.
+	Workloads []string
+}
+
+// DefaultOptions returns the laptop-scale defaults used by tests and
+// cmd/tmpbench.
+func DefaultOptions() Options {
+	return Options{
+		Seed:       42,
+		ScaleShift: 0,
+		Refs:       6_000_000,
+		BasePeriod: 16384,
+		Gating:     true,
+	}
+}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workload.Names
+}
+
+func (o Options) workloadConfig() workload.Config {
+	return workload.Config{Seed: o.Seed, ScaleShift: o.ScaleShift, FirstPID: 100}
+}
+
+// Rates are the sampling-rate multipliers Table IV sweeps.
+var Rates = []int{ibs.Rate1x, ibs.Rate4x, ibs.Rate8x}
+
+// RateName names a rate multiplier the way the paper does.
+func RateName(rate int) string {
+	switch rate {
+	case 1:
+		return "default"
+	case 4:
+		return "4x"
+	case 8:
+		return "8x"
+	default:
+		return fmt.Sprintf("%dx", rate)
+	}
+}
+
+// AbitEvent is one A-bit observation (a leaf PTE seen with A set).
+type AbitEvent struct {
+	Now  int64
+	PID  int
+	VPN  mem.VPN
+	PFN  mem.PFN // base frame of the leaf
+	Huge bool
+}
+
+// Capture is everything one profiling run yields for the analyses.
+type Capture struct {
+	Workload string
+	Rate     int
+	Result   sim.Result
+
+	// Detection sets. A-bit keys are leaf-granular (a huge leaf is
+	// keyed by its base VPN: the compound head, as in Linux's struct
+	// page accounting); IBS keys are exact 4 KiB pages.
+	AbitPages map[core.PageKey]struct{}
+	IBSPages  map[core.PageKey]struct{}
+
+	// Event streams for the heatmaps.
+	AbitEvents []AbitEvent
+	IBSSamples []trace.Sample
+
+	// Machine-wide PMU sums (Fig. 2).
+	STLBMisses uint64
+	LLCMisses  uint64
+
+	// Physical address-space bound for heatmap axes.
+	PhysBytes uint64
+}
+
+// Profile runs TMP over one workload at a sampling rate and captures
+// detection sets, event streams, and counters.
+func Profile(opts Options, name string, rate int) (*Capture, error) {
+	w, err := workload.New(name, opts.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	period := ibs.PeriodForRate(opts.BasePeriod, rate)
+	cfg := sim.DefaultConfig(w, period, opts.Refs)
+	cfg.TMP.Gating = opts.Gating
+	r, err := sim.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+
+	cp := &Capture{
+		Workload:  name,
+		Rate:      rate,
+		AbitPages: make(map[core.PageKey]struct{}),
+		IBSPages:  make(map[core.PageKey]struct{}),
+		PhysBytes: uint64(r.Machine.Phys.TotalFrames()) << mem.PageShift,
+	}
+	r.Profiler.Abit.SetLeafObserver(func(now int64, pid int, vpn mem.VPN, pfn mem.PFN, huge bool) {
+		cp.AbitPages[core.PageKey{PID: pid, VPN: vpn}] = struct{}{}
+		cp.AbitEvents = append(cp.AbitEvents, AbitEvent{Now: now, PID: pid, VPN: vpn, PFN: pfn, Huge: huge})
+	})
+	r.Profiler.SetSampleObserver(func(s trace.Sample) {
+		cp.IBSPages[core.PageKey{PID: s.PID, VPN: mem.VPNOf(s.VAddr)}] = struct{}{}
+		cp.IBSSamples = append(cp.IBSSamples, s)
+	})
+
+	cp.Result, err = r.Run(sim.Hooks{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profiling %s at %s: %w", name, RateName(rate), err)
+	}
+	for _, c := range r.Machine.Cores() {
+		cp.STLBMisses += c.PMU.Raw(pmu.EvSTLBMiss)
+		cp.LLCMisses += c.PMU.Raw(pmu.EvLLCMiss)
+	}
+	return cp, nil
+}
+
+// Both counts pages detected by both methods: IBS 4 KiB keys that
+// coincide with an A-bit leaf key. For THP-backed pages only the head
+// subpage can coincide, which is why the overlap collapses for the HPC
+// workloads, as in the paper's Table IV.
+func (c *Capture) Both() int {
+	n := 0
+	for k := range c.IBSPages {
+		if _, ok := c.AbitPages[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Suite caches captures so the several analyses that share a
+// configuration (Figs. 2-6 all reuse the 4x run) profile each workload
+// once.
+type Suite struct {
+	Opts     Options
+	captures map[string]*Capture
+}
+
+// NewSuite builds an empty suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{Opts: opts, captures: make(map[string]*Capture)}
+}
+
+// Capture returns the cached capture for (workload, rate), profiling
+// on first use.
+func (s *Suite) Capture(name string, rate int) (*Capture, error) {
+	key := fmt.Sprintf("%s@%d", name, rate)
+	if c, ok := s.captures[key]; ok {
+		return c, nil
+	}
+	c, err := Profile(s.Opts, name, rate)
+	if err != nil {
+		return nil, err
+	}
+	s.captures[key] = c
+	return c, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/report"
+)
+
+// Fig2Row is one workload's entry in Fig. 2: the relative frequency of
+// page-table-walk events that set the A bit versus the data-cache-miss
+// events trace-based methods sample. The paper's takeaway: the two
+// populations are the same order of magnitude, so TMP can rank pages
+// by their plain sum without drowning either source out.
+type Fig2Row struct {
+	Workload  string
+	PTWEvents uint64 // STLB misses: walks that set A bits
+	CacheMiss uint64 // LLC misses: the events trace sampling draws from
+	Ratio     float64
+}
+
+// Fig2 computes the PTW:cache-miss event ratio for every workload
+// using the 4x-rate capture.
+func Fig2(s *Suite) ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, name := range s.Opts.workloads() {
+		cp, err := s.Capture(name, ibs.Rate4x)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{
+			Workload:  name,
+			PTWEvents: cp.STLBMisses,
+			CacheMiss: cp.LLCMisses,
+		}
+		if row.CacheMiss > 0 {
+			row.Ratio = float64(row.PTWEvents) / float64(row.CacheMiss)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig2 draws the figure's data as a table.
+func RenderFig2(rows []Fig2Row) string {
+	t := report.NewTable(
+		"Fig. 2: Ratio of PTW events (A-bit sets) to cache-miss events (trace samples)",
+		"workload", "ptw_events", "cache_miss_events", "ratio")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.PTWEvents, r.CacheMiss, r.Ratio)
+	}
+	return t.Render()
+}

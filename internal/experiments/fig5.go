@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/report"
+	"tieredmem/internal/stats"
+)
+
+// Fig5Series is one CDF: the distribution of per-page observation
+// counts under one profiling view of one workload.
+type Fig5Series struct {
+	Workload string
+	Method   string // "abit", "ibs(default)", "ibs(4x)", "ibs(8x)", "truth"
+	Summary  stats.Summary
+	Points   [][2]float64 // (access count, cumulative probability)
+	// HotRecall is the fraction of the ground-truth hottest decile
+	// that lands in this method's own hottest decile — the paper's
+	// "A-bit alone classifies fewer than 10% of the pages ... as
+	// hot" failure mode, quantified. 1.0 for the truth series.
+	HotRecall float64
+}
+
+// Fig5 reproduces the per-page access-count CDFs: how concentrated
+// each profiling method sees the heat. The paper's reading: the
+// hottest pages are a small fraction of the footprint (steep CDF
+// tails), A-bit counts saturate (bounded by scans), and raising the
+// IBS rate shifts its CDF right without changing its shape.
+func Fig5(s *Suite) ([]Fig5Series, error) {
+	var out []Fig5Series
+	for _, name := range s.Opts.workloads() {
+		// A-bit counts per leaf, from the 4x capture (the A-bit view
+		// does not depend on the IBS rate).
+		cp4, err := s.Capture(name, ibs.Rate4x)
+		if err != nil {
+			return nil, err
+		}
+		abitCounts := make(map[core.PageKey]uint64)
+		for i := range cp4.AbitEvents {
+			ev := &cp4.AbitEvents[i]
+			abitCounts[core.PageKey{PID: ev.PID, VPN: ev.VPN}]++
+		}
+
+		// Ground truth from the 4x run's epochs.
+		truth := make(map[core.PageKey]uint64)
+		for _, ep := range cp4.Result.Epochs {
+			for _, ps := range ep.Pages {
+				if ps.True > 0 {
+					truth[ps.Key] += uint64(ps.True)
+				}
+			}
+		}
+		hotSet := topDecile(truth)
+
+		abitSeries := seriesFromCounts(name, "abit", abitCounts)
+		abitSeries.HotRecall = recall(hotSet, topDecileK(abitCounts, len(hotSet)))
+		out = append(out, abitSeries)
+
+		// IBS counts per 4 KiB page at every rate.
+		for _, rate := range Rates {
+			cp, err := s.Capture(name, rate)
+			if err != nil {
+				return nil, err
+			}
+			ibsCounts := make(map[core.PageKey]uint64)
+			for i := range cp.IBSSamples {
+				smp := &cp.IBSSamples[i]
+				ibsCounts[core.PageKey{PID: smp.PID, VPN: mem.VPNOf(smp.VAddr)}]++
+			}
+			sr := seriesFromCounts(name, "ibs("+RateName(rate)+")", ibsCounts)
+			sr.HotRecall = recall(hotSet, topDecileK(ibsCounts, len(hotSet)))
+			out = append(out, sr)
+		}
+
+		truthSeries := seriesFromCounts(name, "truth", truth)
+		truthSeries.HotRecall = 1
+		out = append(out, truthSeries)
+	}
+	return out, nil
+}
+
+// topDecile returns the hottest 10% of pages (at least one) by count.
+func topDecile(counts map[core.PageKey]uint64) map[core.PageKey]struct{} {
+	return topDecileK(counts, len(counts)/10+1)
+}
+
+// topDecileK returns the k hottest pages by count (deterministic
+// tie-break by key).
+func topDecileK(counts map[core.PageKey]uint64, k int) map[core.PageKey]struct{} {
+	type kv struct {
+		k core.PageKey
+		v uint64
+	}
+	all := make([]kv, 0, len(counts))
+	for key, v := range counts {
+		all = append(all, kv{key, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		if all[i].k.PID != all[j].k.PID {
+			return all[i].k.PID < all[j].k.PID
+		}
+		return all[i].k.VPN < all[j].k.VPN
+	})
+	out := make(map[core.PageKey]struct{}, k)
+	for i := 0; i < len(all) && i < k; i++ {
+		out[all[i].k] = struct{}{}
+	}
+	return out
+}
+
+// recall is |predicted ∩ actual| / |actual|.
+func recall(actual, predicted map[core.PageKey]struct{}) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	hit := 0
+	for k := range predicted {
+		if _, ok := actual[k]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(actual))
+}
+
+func seriesFromCounts(workload, method string, counts map[core.PageKey]uint64) Fig5Series {
+	var cdf stats.CDF
+	samples := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		cdf.Add(c)
+		samples = append(samples, c)
+	}
+	return Fig5Series{
+		Workload: workload,
+		Method:   method,
+		Summary:  stats.Summarize(samples),
+		Points:   cdf.Points(20),
+	}
+}
+
+// RenderFig5 summarizes every CDF as quantile rows.
+func RenderFig5(series []Fig5Series) string {
+	t := report.NewTable(
+		"Fig. 5: Per-page observation-count distributions by method and rate",
+		"workload", "method", "pages", "p50", "p90", "p99", "max", "top10%share", "hot-recall")
+	for _, s := range series {
+		t.AddRow(s.Workload, s.Method, s.Summary.N, s.Summary.P50, s.Summary.P90,
+			s.Summary.P99, s.Summary.Max, fmt.Sprintf("%.0f%%", s.Summary.GiniLikeRatio*100),
+			fmt.Sprintf("%.0f%%", s.HotRecall*100))
+	}
+	return t.Render()
+}
+
+// Fig5CSV emits the raw CDF points for plotting.
+func Fig5CSV(series []Fig5Series) string {
+	var out []report.Series
+	for _, s := range series {
+		out = append(out, report.Series{
+			Name:   s.Workload + "/" + s.Method,
+			Points: s.Points,
+		})
+	}
+	return report.SeriesCSV(out)
+}

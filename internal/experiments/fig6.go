@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/report"
+)
+
+// Fig6Point is one bar of Fig. 6: the tier-1 memory hitrate of one
+// (policy, method, capacity-ratio) arm on one workload.
+type Fig6Point struct {
+	Workload string
+	Policy   string
+	Method   core.Method
+	Ratio    int
+	Hitrate  float64
+}
+
+// Fig6Result bundles the sweep with the headline aggregates the
+// paper's §VI-C text quotes.
+type Fig6Result struct {
+	Points []Fig6Point
+	// MaxOracleGain is the largest relative improvement of
+	// Oracle-on-TMP over Oracle on the best single method across
+	// workloads and ratios (the paper reports "as high as 70%").
+	MaxOracleGain float64
+	// MaxHistoryGain is the analogous History-policy number (paper:
+	// "as much as 60%").
+	MaxHistoryGain float64
+}
+
+// Fig6 reproduces the hitrate study: for every workload, the Oracle
+// and History policies are evaluated offline over the profiling
+// harvests, ranking pages by (a) A-bit evidence alone, (b) IBS
+// evidence alone, and (c) TMP's combined rank, across fast-tier
+// capacity ratios 1/8 .. 1/128. Hitrate is measured against the
+// simulator's ground-truth memory accesses, exactly as the paper
+// computed policy results from profiling data collected on real
+// hardware.
+func Fig6(s *Suite) (Fig6Result, error) {
+	var res Fig6Result
+	for _, name := range s.Opts.workloads() {
+		cp, err := s.Capture(name, ibs.Rate4x)
+		if err != nil {
+			return res, err
+		}
+		epochs := cp.Result.Epochs
+		foot := footprintPages(epochs)
+		type armKey struct {
+			policy string
+			method core.Method
+			ratio  int
+		}
+		hit := make(map[armKey]float64)
+		for _, ratio := range policy.Fig6Ratios {
+			capacity := policy.CapacityForRatio(foot, ratio)
+			for _, m := range core.Methods {
+				for _, p := range []policy.Policy{policy.Oracle{}, policy.History{}} {
+					hr := policy.EvaluateHitrate(p, epochs, m, capacity)
+					pt := Fig6Point{
+						Workload: name,
+						Policy:   p.Name(),
+						Method:   m,
+						Ratio:    ratio,
+						Hitrate:  hr.Hitrate(),
+					}
+					res.Points = append(res.Points, pt)
+					hit[armKey{p.Name(), m, ratio}] = pt.Hitrate
+				}
+			}
+		}
+		// Aggregate gains: combined vs the best single method.
+		for _, ratio := range policy.Fig6Ratios {
+			for _, pol := range []string{"oracle", "history"} {
+				combined := hit[armKey{pol, core.MethodCombined, ratio}]
+				bestSingle := hit[armKey{pol, core.MethodAbit, ratio}]
+				if v := hit[armKey{pol, core.MethodTrace, ratio}]; v > bestSingle {
+					bestSingle = v
+				}
+				if bestSingle <= 0 {
+					continue
+				}
+				gain := combined/bestSingle - 1
+				if pol == "oracle" && gain > res.MaxOracleGain {
+					res.MaxOracleGain = gain
+				}
+				if pol == "history" && gain > res.MaxHistoryGain {
+					res.MaxHistoryGain = gain
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// footprintPages counts distinct pages with ground-truth memory
+// accesses across a run.
+func footprintPages(epochs []core.EpochStats) int {
+	seen := make(map[core.PageKey]struct{})
+	for _, ep := range epochs {
+		for _, ps := range ep.Pages {
+			if ps.True > 0 {
+				seen[ps.Key] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// RenderFig6 draws the sweep grouped by workload and policy.
+func RenderFig6(res Fig6Result) string {
+	t := report.NewTable(
+		"Fig. 6: Tier-1 hitrate by policy, profiling method, and capacity ratio (1-epoch horizon)",
+		"workload", "policy", "method", "1/8", "1/16", "1/32", "1/64", "1/128")
+	type rowKey struct {
+		w, p string
+		m    core.Method
+	}
+	byRow := make(map[rowKey]map[int]float64)
+	var order []rowKey
+	for _, pt := range res.Points {
+		k := rowKey{pt.Workload, pt.Policy, pt.Method}
+		if _, ok := byRow[k]; !ok {
+			byRow[k] = make(map[int]float64)
+			order = append(order, k)
+		}
+		byRow[k][pt.Ratio] = pt.Hitrate
+	}
+	for _, k := range order {
+		cells := byRow[k]
+		t.AddRow(k.w, k.p, k.m.String(),
+			cells[8], cells[16], cells[32], cells[64], cells[128])
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "\nMax combined-over-best-single gain: Oracle %.0f%% (paper: up to 70%%), History %.0f%% (paper: up to 60%%)\n",
+		res.MaxOracleGain*100, res.MaxHistoryGain*100)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/stats"
+)
+
+// HeatmapBins sizes the Fig. 3 / Fig. 4 grids: time bins across the
+// run, physical-address bins up the page.
+const (
+	HeatmapTimeBins = 64
+	HeatmapAddrBins = 32
+)
+
+// WorkloadHeatmap is one workload's rendered heatmap.
+type WorkloadHeatmap struct {
+	Workload string
+	Grid     *stats.Heatmap
+}
+
+// Fig3 builds the IBS-sample heatmaps (time x physical address, 4x
+// rate) — each temperature point is the number of trace samples that
+// hit the page-frame bin in the interval.
+func Fig3(s *Suite) ([]WorkloadHeatmap, error) {
+	var out []WorkloadHeatmap
+	for _, name := range s.Opts.workloads() {
+		cp, err := s.Capture(name, ibs.Rate4x)
+		if err != nil {
+			return nil, err
+		}
+		h := stats.NewHeatmap(HeatmapTimeBins, HeatmapAddrBins,
+			0, maxI64(cp.Result.DurationNS, 1), 0, cp.PhysBytes)
+		for i := range cp.IBSSamples {
+			smp := &cp.IBSSamples[i]
+			h.Add(smp.Now, smp.PAddr, 1)
+		}
+		out = append(out, WorkloadHeatmap{Workload: name, Grid: h})
+	}
+	return out, nil
+}
+
+// Fig4 builds the A-bit heatmaps: each scan observation adds weight at
+// the scan time over the leaf's physical span (a huge leaf spreads its
+// single observation across its 2 MiB, which is all the A bit can
+// say).
+func Fig4(s *Suite) ([]WorkloadHeatmap, error) {
+	var out []WorkloadHeatmap
+	for _, name := range s.Opts.workloads() {
+		cp, err := s.Capture(name, ibs.Rate4x)
+		if err != nil {
+			return nil, err
+		}
+		h := stats.NewHeatmap(HeatmapTimeBins, HeatmapAddrBins,
+			0, maxI64(cp.Result.DurationNS, 1), 0, cp.PhysBytes)
+		addrBin := cp.PhysBytes / HeatmapAddrBins
+		if addrBin == 0 {
+			addrBin = 1
+		}
+		for i := range cp.AbitEvents {
+			ev := &cp.AbitEvents[i]
+			span := uint64(mem.PageSize)
+			if ev.Huge {
+				span = uint64(mem.HugePages) * mem.PageSize
+			}
+			base := ev.PFN.PAddrOf()
+			// One observation spread over the leaf's span: weight 1
+			// per address bin the leaf crosses.
+			for off := uint64(0); off < span; off += addrBin {
+				h.Add(ev.Now, base+off, 1)
+				if span <= addrBin {
+					break
+				}
+			}
+		}
+		out = append(out, WorkloadHeatmap{Workload: name, Grid: h})
+	}
+	return out, nil
+}
+
+// RenderHeatmaps draws a set of heatmaps with captions.
+func RenderHeatmaps(title string, maps []WorkloadHeatmap) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for _, m := range maps {
+		fmt.Fprintf(&b, "\n[%s]  (x: time ->, y: physical address ^, max cell=%d, cells=%d)\n",
+			m.Workload, m.Grid.Max(), m.Grid.Nonzero())
+		b.WriteString(m.Grid.Render())
+	}
+	return b.String()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

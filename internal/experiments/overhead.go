@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/report"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/workload"
+)
+
+// OverheadRow is one workload's §VI-B profiling-overhead measurement:
+// end-to-end runtime under each profiling configuration relative to an
+// unprofiled run of the same reference stream.
+type OverheadRow struct {
+	Workload   string
+	BaseNS     int64   // unprofiled duration
+	AbitPct    float64 // A-bit walks every scaled second (paper: <1%)
+	IBSDefPct  float64 // IBS at the default rate (paper: <2%)
+	IBS4xPct   float64 // IBS at 4x (paper: <5%)
+	TMPFullPct float64 // everything on, with HWPC gating
+}
+
+// Overhead measures profiling cost by running each workload once
+// without any profiler and once per configuration, comparing
+// end-to-end virtual durations — the paper's methodology ("we measured
+// the end-to-end latency of each workload with our profiler").
+func Overhead(opts Options) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, name := range opts.workloads() {
+		row := OverheadRow{Workload: name}
+
+		base, err := runDuration(opts, name, func(cfg *sim.Config) {
+			// Disable everything: no scans, no sampling, no gating.
+			cfg.TMP.Gating = false
+			cfg.TMP.IBS.Period = 1 << 40
+			cfg.TMP.Abit.Interval = 1 << 60
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.BaseNS = base
+
+		abitOnly, err := runDuration(opts, name, func(cfg *sim.Config) {
+			cfg.TMP.Gating = false
+			cfg.TMP.IBS.Period = 1 << 40
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.AbitPct = pct(abitOnly, base)
+
+		ibsDef, err := runDuration(opts, name, func(cfg *sim.Config) {
+			cfg.TMP.Gating = false
+			cfg.TMP.Abit.Interval = 1 << 60
+			cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate1x)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.IBSDefPct = pct(ibsDef, base)
+
+		ibs4x, err := runDuration(opts, name, func(cfg *sim.Config) {
+			cfg.TMP.Gating = false
+			cfg.TMP.Abit.Interval = 1 << 60
+			cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.IBS4xPct = pct(ibs4x, base)
+
+		full, err := runDuration(opts, name, func(cfg *sim.Config) {
+			cfg.TMP.Gating = true
+			cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.TMPFullPct = pct(full, base)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runDuration executes one profiling configuration and returns the
+// end-to-end virtual duration.
+func runDuration(opts Options, name string, mutate func(*sim.Config)) (int64, error) {
+	w, err := workload.New(name, opts.workloadConfig())
+	if err != nil {
+		return 0, err
+	}
+	cfg := sim.DefaultConfig(w, opts.BasePeriod, opts.Refs)
+	mutate(&cfg)
+	r, err := sim.New(cfg, w)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Run(sim.Hooks{})
+	if err != nil {
+		return 0, err
+	}
+	return res.DurationNS, nil
+}
+
+func pct(with, without int64) float64 {
+	if without == 0 {
+		return 0
+	}
+	p := (float64(with)/float64(without) - 1) * 100
+	if p < 0 {
+		p = 0 // clock jitter below resolution
+	}
+	return p
+}
+
+// RenderOverhead draws the study.
+func RenderOverhead(rows []OverheadRow) string {
+	t := report.NewTable(
+		"§VI-B: End-to-end profiling overhead (% of unprofiled runtime)",
+		"workload", "abit@1s", "ibs(default)", "ibs(4x)", "tmp(full,gated)")
+	for _, r := range rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.2f%%", r.AbitPct),
+			fmt.Sprintf("%.2f%%", r.IBSDefPct),
+			fmt.Sprintf("%.2f%%", r.IBS4xPct),
+			fmt.Sprintf("%.2f%%", r.TMPFullPct))
+	}
+	return t.Render() + "\nPaper bounds: A-bit <1%, IBS default <2%, IBS 4x <5%.\n"
+}

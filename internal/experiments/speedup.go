@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/emul"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/report"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/workload"
+)
+
+// SpeedupRow is one workload's §VI-C end-to-end result: TMP-driven
+// placement (History policy on the combined rank) versus the
+// NUMA-like first-come-first-allocate baseline, under the BadgerTrap
+// emulation cost model (10 us slow-access fault, +13 us hot page,
+// 50 us migration) and under the simulator's native NVM latencies.
+type SpeedupRow struct {
+	Workload string
+	// Emulated arm (the paper's methodology).
+	EmulBaselineNS int64
+	EmulTMPNS      int64
+	EmulSpeedup    float64
+	// Native-latency arm (simulator capability beyond the paper).
+	SimBaselineNS int64
+	SimTMPNS      int64
+	SimSpeedup    float64
+	// Hitrates of the native arm, for context.
+	BaseHitrate float64
+	TMPHitrate  float64
+}
+
+// SpeedupResult bundles rows with aggregates.
+type SpeedupResult struct {
+	Rows []SpeedupRow
+	// Averages over workloads (paper: 1.04x average, 1.13x best).
+	EmulAvg, EmulBest float64
+	SimAvg, SimBest   float64
+}
+
+// Speedup reproduces the end-to-end evaluation: a 1/16 fast:total
+// capacity ratio (the paper's 4 GB fast + 60 GB slow), History policy
+// on TMP's combined rank, against first-touch.
+func Speedup(opts Options) (SpeedupResult, error) {
+	var res SpeedupResult
+	const ratio = 16
+	for _, name := range opts.workloads() {
+		row := SpeedupRow{Workload: name}
+
+		runArm := func(p policy.Policy, costs *emul.Costs) (sim.PlacementResult, error) {
+			w, err := workload.New(name, opts.workloadConfig())
+			if err != nil {
+				return sim.PlacementResult{}, err
+			}
+			period := ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+			cfg := sim.DefaultPlacementConfig(w, period, opts.Refs, ratio, p, core.MethodCombined)
+			cfg.EmulCosts = costs
+			return sim.RunPlacement(cfg, w)
+		}
+
+		paperCosts := emul.PaperCosts(0)
+
+		eb, err := runArm(nil, &paperCosts)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s emul baseline: %w", name, err)
+		}
+		et, err := runArm(policy.History{}, &paperCosts)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s emul tmp: %w", name, err)
+		}
+		row.EmulBaselineNS, row.EmulTMPNS = eb.DurationNS, et.DurationNS
+		if et.DurationNS > 0 {
+			row.EmulSpeedup = float64(eb.DurationNS) / float64(et.DurationNS)
+		}
+
+		sb, err := runArm(nil, nil)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s sim baseline: %w", name, err)
+		}
+		st, err := runArm(policy.History{}, nil)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s sim tmp: %w", name, err)
+		}
+		row.SimBaselineNS, row.SimTMPNS = sb.DurationNS, st.DurationNS
+		if st.DurationNS > 0 {
+			row.SimSpeedup = float64(sb.DurationNS) / float64(st.DurationNS)
+		}
+		row.BaseHitrate, row.TMPHitrate = sb.Hitrate(), st.Hitrate()
+
+		res.Rows = append(res.Rows, row)
+	}
+	for _, r := range res.Rows {
+		res.EmulAvg += r.EmulSpeedup
+		res.SimAvg += r.SimSpeedup
+		if r.EmulSpeedup > res.EmulBest {
+			res.EmulBest = r.EmulSpeedup
+		}
+		if r.SimSpeedup > res.SimBest {
+			res.SimBest = r.SimSpeedup
+		}
+	}
+	if n := float64(len(res.Rows)); n > 0 {
+		res.EmulAvg /= n
+		res.SimAvg /= n
+	}
+	return res, nil
+}
+
+// RenderSpeedup draws the study.
+func RenderSpeedup(res SpeedupResult) string {
+	t := report.NewTable(
+		"§VI-C: End-to-end speedup of TMP+History over first-touch (1/16 fast tier)",
+		"workload", "emul_speedup", "sim_speedup", "base_hitrate", "tmp_hitrate")
+	for _, r := range res.Rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.3fx", r.EmulSpeedup),
+			fmt.Sprintf("%.3fx", r.SimSpeedup),
+			r.BaseHitrate, r.TMPHitrate)
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "\nEmulated: avg %.3fx, best %.3fx (paper: avg 1.04x, best 1.13x). Native-latency: avg %.3fx, best %.3fx.\n",
+		res.EmulAvg, res.EmulBest, res.SimAvg, res.SimBest)
+	return b.String()
+}

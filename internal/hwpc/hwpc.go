@@ -1,0 +1,173 @@
+// Package hwpc implements TMP's performance-counter activity monitor
+// (§III-B4, first optimization): LLC-miss and TLB-miss counters are
+// read continuously at near-zero cost, and the expensive profiling
+// mechanisms are dynamically disabled when their event stream is quiet.
+// The paper's rule: track the maximum windowed event count seen so
+// far; a profiling method is considered active while the current
+// window's count is at least 20% of that maximum.
+package hwpc
+
+import (
+	"fmt"
+
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/pmu"
+)
+
+// Config parameterizes the monitor.
+type Config struct {
+	// Window is the virtual-ns sampling window for the counters.
+	Window int64
+	// Threshold is the fraction of the maximum windowed count below
+	// which a profiling method is gated off (the paper uses 0.20).
+	Threshold float64
+	// ReadCost is the virtual-ns cost of one counter-read pass
+	// (HWPCs are nearly free; this stays tiny).
+	ReadCost int64
+}
+
+// DefaultConfig returns the paper's settings: 20% threshold, 100 ms
+// windows.
+func DefaultConfig() Config {
+	return Config{Window: 100_000_000, Threshold: 0.20, ReadCost: 500}
+}
+
+// Toggleable is anything the monitor can gate on and off; both the
+// ibs.Engine and the abit.Scanner satisfy it.
+type Toggleable interface {
+	Enable()
+	Disable()
+	Enabled() bool
+}
+
+// gauge tracks one event stream's windowed activity.
+type gauge struct {
+	event    pmu.Event
+	last     uint64 // machine-wide count at the previous window edge
+	maxDelta uint64
+	active   bool
+	target   Toggleable
+	// toggles counts on/off transitions applied to the target.
+	toggles uint64
+}
+
+// Monitor is the gating engine.
+type Monitor struct {
+	cfg     Config
+	machine *cpu.Machine
+	gauges  []*gauge
+	next    int64
+	// Reads counts counter-read passes; OverheadNS accumulates their
+	// cost.
+	Reads      uint64
+	OverheadNS int64
+
+	// Memory-bandwidth monitoring (the resctrl MBM feature the
+	// paper's footnote 3 mentions): bytes fetched from memory per
+	// window, derived from the LLC-miss counters.
+	lastLLC         uint64
+	lastBWValid     bool
+	LastWindowBytes uint64
+	PeakWindowBytes uint64
+}
+
+// New builds a monitor over a machine.
+func New(cfg Config, m *cpu.Machine) (*Monitor, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("hwpc: window %d must be positive", cfg.Window)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("hwpc: threshold %v must be in [0,1]", cfg.Threshold)
+	}
+	return &Monitor{cfg: cfg, machine: m, next: cfg.Window}, nil
+}
+
+// Gate registers a profiling mechanism to be driven by an event: the
+// paper supplements trace collection with the LLC-miss counter and
+// A-bit profiling with the TLB-miss counter.
+func (mo *Monitor) Gate(event pmu.Event, target Toggleable) {
+	for _, c := range mo.machine.Cores() {
+		c.PMU.Track(event)
+	}
+	mo.gauges = append(mo.gauges, &gauge{event: event, target: target, active: true})
+}
+
+// machineCount sums an event's raw counts across cores.
+func (mo *Monitor) machineCount(e pmu.Event) uint64 {
+	var total uint64
+	for _, c := range mo.machine.Cores() {
+		total += c.PMU.Raw(e)
+	}
+	return total
+}
+
+// Due reports whether a window boundary has been reached.
+func (mo *Monitor) Due(now int64) bool { return now >= mo.next }
+
+// TickIfDue evaluates the gating rule at window boundaries, toggling
+// registered targets. It returns the cost to charge the daemon core
+// and whether a pass ran.
+func (mo *Monitor) TickIfDue(now int64) (int64, bool) {
+	if !mo.Due(now) {
+		return 0, false
+	}
+	for mo.next <= now {
+		mo.next += mo.cfg.Window
+	}
+	mo.Reads++
+	readCost := mo.machine.SoftCost(mo.cfg.ReadCost)
+	mo.OverheadNS += readCost
+
+	// MBM-style bandwidth: one cache line per LLC miss.
+	llc := mo.machineCount(pmu.EvLLCMiss)
+	if mo.lastBWValid {
+		mo.LastWindowBytes = (llc - mo.lastLLC) * 64
+		if mo.LastWindowBytes > mo.PeakWindowBytes {
+			mo.PeakWindowBytes = mo.LastWindowBytes
+		}
+	}
+	mo.lastLLC = llc
+	mo.lastBWValid = true
+
+	for _, g := range mo.gauges {
+		cur := mo.machineCount(g.event)
+		delta := cur - g.last
+		g.last = cur
+		if delta > g.maxDelta {
+			g.maxDelta = delta
+		}
+		wantActive := true
+		if g.maxDelta > 0 {
+			wantActive = float64(delta) >= mo.cfg.Threshold*float64(g.maxDelta)
+		}
+		if wantActive != g.active {
+			g.active = wantActive
+			g.toggles++
+			if g.target != nil {
+				if wantActive {
+					g.target.Enable()
+				} else {
+					g.target.Disable()
+				}
+			}
+		}
+	}
+	return readCost, true
+}
+
+// GaugeState describes one gauge for reporting.
+type GaugeState struct {
+	Event    pmu.Event
+	Active   bool
+	MaxDelta uint64
+	Toggles  uint64
+}
+
+// States returns a snapshot of all gauges.
+func (mo *Monitor) States() []GaugeState {
+	out := make([]GaugeState, 0, len(mo.gauges))
+	for _, g := range mo.gauges {
+		out = append(out, GaugeState{Event: g.event, Active: g.active, MaxDelta: g.maxDelta, Toggles: g.toggles})
+	}
+	return out
+}

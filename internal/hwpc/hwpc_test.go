@@ -1,0 +1,138 @@
+package hwpc
+
+import (
+	"testing"
+
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/pmu"
+)
+
+type toggleSpy struct{ enabled bool }
+
+func (s *toggleSpy) Enable()       { s.enabled = true }
+func (s *toggleSpy) Disable()      { s.enabled = false }
+func (s *toggleSpy) Enabled() bool { return s.enabled }
+
+func testMachine(t *testing.T) *cpu.Machine {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 1
+	m, err := cpu.NewMachine(cfg, mem.DefaultTiers(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGateTracksEventOnAllCores(t *testing.T) {
+	m := testMachine(t)
+	mon, err := New(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy := &toggleSpy{enabled: true}
+	mon.Gate(pmu.EvLLCMiss, spy)
+	found := false
+	for _, e := range m.Core(0).PMU.Tracked() {
+		if e == pmu.EvLLCMiss {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gated event not programmed into the PMU")
+	}
+}
+
+func TestGatingDisablesOnQuietAndReenables(t *testing.T) {
+	m := testMachine(t)
+	cfg := Config{Window: 100, Threshold: 0.2, ReadCost: 1}
+	mon, _ := New(cfg, m)
+	spy := &toggleSpy{enabled: true}
+	mon.Gate(pmu.EvLLCMiss, spy)
+
+	// Window 1: a burst of misses establishes the max.
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 1000)
+	mon.TickIfDue(100)
+	if !spy.enabled {
+		t.Fatalf("active window disabled the target")
+	}
+	// Window 2: silence (<20% of max): gate off.
+	mon.TickIfDue(200)
+	if spy.enabled {
+		t.Fatalf("quiet window did not disable the target")
+	}
+	// Window 3: activity resumes above threshold: gate on.
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 500)
+	mon.TickIfDue(300)
+	if !spy.enabled {
+		t.Fatalf("busy window did not re-enable the target")
+	}
+	states := mon.States()
+	if len(states) != 1 || states[0].Toggles != 2 || states[0].MaxDelta != 1000 {
+		t.Errorf("gauge state = %+v", states[0])
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	m := testMachine(t)
+	mon, _ := New(Config{Window: 100, Threshold: 0.2, ReadCost: 1}, m)
+	spy := &toggleSpy{enabled: true}
+	mon.Gate(pmu.EvLLCMiss, spy)
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 1000)
+	mon.TickIfDue(100)
+	// Exactly 20% of the max must count as active (paper: "more than
+	// 20%" is active; we use >= to keep the boundary stable).
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 200)
+	mon.TickIfDue(200)
+	if !spy.enabled {
+		t.Errorf("boundary window (exactly 20%%) gated off")
+	}
+}
+
+func TestTickScheduling(t *testing.T) {
+	m := testMachine(t)
+	mon, _ := New(Config{Window: 100, Threshold: 0.2, ReadCost: 1}, m)
+	if _, ran := mon.TickIfDue(99); ran {
+		t.Errorf("tick ran early")
+	}
+	if _, ran := mon.TickIfDue(100); !ran {
+		t.Errorf("tick did not run at the window edge")
+	}
+	if mon.Reads != 1 {
+		t.Errorf("Reads = %d, want 1", mon.Reads)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	m := testMachine(t)
+	if _, err := New(Config{Window: 0, Threshold: 0.2}, m); err == nil {
+		t.Errorf("zero window accepted")
+	}
+	if _, err := New(Config{Window: 1, Threshold: 1.5}, m); err == nil {
+		t.Errorf("threshold >1 accepted")
+	}
+}
+
+func TestMemoryBandwidthTracking(t *testing.T) {
+	m := testMachine(t)
+	mon, _ := New(Config{Window: 100, Threshold: 0.2, ReadCost: 1}, m)
+	// Bandwidth derives from the LLC-miss counter; track it without
+	// gating anything.
+	mon.Gate(pmu.EvLLCMiss, nil)
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 100)
+	mon.TickIfDue(100) // establishes the baseline
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 50)
+	mon.TickIfDue(200)
+	if mon.LastWindowBytes != 50*64 {
+		t.Errorf("LastWindowBytes = %d, want %d", mon.LastWindowBytes, 50*64)
+	}
+	m.Core(0).PMU.Add(pmu.EvLLCMiss, 10)
+	mon.TickIfDue(300)
+	if mon.LastWindowBytes != 10*64 {
+		t.Errorf("LastWindowBytes = %d, want %d", mon.LastWindowBytes, 10*64)
+	}
+	if mon.PeakWindowBytes != 50*64 {
+		t.Errorf("PeakWindowBytes = %d, want %d", mon.PeakWindowBytes, 50*64)
+	}
+}

@@ -1,0 +1,122 @@
+// Package mem models the physical memory of a tiered-memory machine:
+// byte addresses, page frames, per-tier frame allocation, and the
+// per-frame page descriptors that TMP extends with profiling state
+// (the paper extends Linux's struct page the same way, §III-B1).
+package mem
+
+import "fmt"
+
+// Page geometry. The simulator uses x86-style 4 KiB base pages.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// TierID identifies a memory tier. Tier 0 is the fast tier ("tier 1
+// memory" in the paper: DRAM); tier 1 is the slow tier ("tier 2": NVM).
+type TierID int
+
+const (
+	// FastTier is DRAM-class memory (the paper's tier 1).
+	FastTier TierID = 0
+	// SlowTier is NVM-class memory (the paper's tier 2).
+	SlowTier TierID = 1
+)
+
+// String returns "fast" or "slow" (or a numeric form for other IDs).
+func (t TierID) String() string {
+	switch t {
+	case FastTier:
+		return "fast"
+	case SlowTier:
+		return "slow"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// PFN is a physical frame number.
+type PFN uint64
+
+// PAddrOf returns the first byte address of the frame.
+func (p PFN) PAddrOf() uint64 { return uint64(p) << PageShift }
+
+// PFNOf returns the frame containing a physical byte address.
+func PFNOf(paddr uint64) PFN { return PFN(paddr >> PageShift) }
+
+// VPN is a virtual page number.
+type VPN uint64
+
+// VPNOf returns the virtual page containing a virtual byte address.
+func VPNOf(vaddr uint64) VPN { return VPN(vaddr >> PageShift) }
+
+// VAddrOf returns the first byte address of the virtual page.
+func (v VPN) VAddrOf() uint64 { return uint64(v) << PageShift }
+
+// PageFlags carries page-state bits relevant to placement.
+type PageFlags uint8
+
+const (
+	// FlagAllocated marks a frame backing a live mapping.
+	FlagAllocated PageFlags = 1 << iota
+	// FlagNonMigratable marks frames the policy must not move
+	// (pinned/kernel pages; the paper's step 2 filters these).
+	FlagNonMigratable
+	// FlagPoisoned marks frames whose PTE carries the BadgerTrap
+	// reserved-bit poison used by the emulation framework.
+	FlagPoisoned
+)
+
+// PageDescriptor is the per-frame metadata record. TMP accumulates
+// profiling observations here: separate counters for A-bit and
+// trace-based (IBS/PEBS) evidence, split into an all-time total and a
+// current-epoch value that the profiler harvests at each epoch horizon.
+type PageDescriptor struct {
+	Frame PFN
+	Tier  TierID
+	PID   int // owning process, -1 when free
+	VPage VPN // virtual page currently mapped to this frame
+	Flags PageFlags
+
+	// Profiling state (the paper's extended struct page).
+	AbitTotal  uint64 // A-bit observations, all time
+	TraceTotal uint64 // IBS/PEBS samples, all time
+	AbitEpoch  uint32 // A-bit observations this epoch
+	TraceEpoch uint32 // trace samples this epoch
+
+	// Write-path profiling state: D-bit-set events logged by the
+	// PML engine (an extension; the paper focuses on the A bit for
+	// performance and mentions PML for write tracking).
+	WriteTotal uint64
+	WriteEpoch uint32
+
+	// Ground truth maintained by the simulator itself (invisible to
+	// any profiling method): demand accesses served from memory, the
+	// quantity the paper's Fig. 6 hitrate and Oracle policy are
+	// defined over.
+	TrueTotal uint64
+	TrueEpoch uint32
+}
+
+// Hotness returns the current-epoch hotness rank: the paper's simple
+// sum of A-bit and trace-based samples (§IV step 1, justified by
+// Fig. 2's same-order-of-magnitude event populations).
+func (pd *PageDescriptor) Hotness() uint64 {
+	return uint64(pd.AbitEpoch) + uint64(pd.TraceEpoch)
+}
+
+// ResetEpoch folds the epoch counters into the totals and zeroes them.
+func (pd *PageDescriptor) ResetEpoch() {
+	pd.AbitTotal += uint64(pd.AbitEpoch)
+	pd.TraceTotal += uint64(pd.TraceEpoch)
+	pd.WriteTotal += uint64(pd.WriteEpoch)
+	pd.TrueTotal += uint64(pd.TrueEpoch)
+	pd.AbitEpoch = 0
+	pd.TraceEpoch = 0
+	pd.WriteEpoch = 0
+	pd.TrueEpoch = 0
+}
+
+// Allocated reports whether the frame backs a live mapping.
+func (pd *PageDescriptor) Allocated() bool { return pd.Flags&FlagAllocated != 0 }

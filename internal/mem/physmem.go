@@ -1,0 +1,304 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when a tier (and any spill target) has no
+// free frames left.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// ErrNoContiguous is returned when a huge allocation cannot find a
+// contiguous, aligned run of free frames (the THP fallback condition).
+var ErrNoContiguous = errors.New("mem: no contiguous frame run for huge page")
+
+// HugePages is the number of base frames in one 2 MiB huge page.
+const HugePages = 512
+
+// TierSpec describes one tier's geometry and timing.
+type TierSpec struct {
+	Name         string
+	Frames       int   // capacity in 4 KiB frames
+	ReadLatency  int64 // ns for a 64 B line read served by this tier
+	WriteLatency int64 // ns for a 64 B line write
+}
+
+// Validate reports configuration errors.
+func (s TierSpec) Validate() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("mem: tier %q: frame count %d must be positive", s.Name, s.Frames)
+	}
+	if s.ReadLatency <= 0 || s.WriteLatency <= 0 {
+		return fmt.Errorf("mem: tier %q: latencies must be positive", s.Name)
+	}
+	return nil
+}
+
+// DefaultTiers returns a two-tier layout with the given fast-tier frame
+// count and slow-tier frame count, using DRAM-like and NVM-like
+// latencies. Per §IV the slow tier is "not orders of magnitude slower":
+// we use roughly 4x read and 8x write latency, in line with 3D-XPoint
+// class media.
+func DefaultTiers(fastFrames, slowFrames int) []TierSpec {
+	return []TierSpec{
+		{Name: "dram", Frames: fastFrames, ReadLatency: 80, WriteLatency: 80},
+		{Name: "nvm", Frames: slowFrames, ReadLatency: 320, WriteLatency: 640},
+	}
+}
+
+// tierState is the allocator state for one tier: a free bitmap with a
+// next-fit cursor for base pages (allocating upward) and a separate
+// downward cursor for huge runs, which keeps small and huge
+// allocations from fragmenting each other.
+type tierState struct {
+	spec      TierSpec
+	base      PFN // first frame of this tier's contiguous PFN range
+	free      []bool
+	freeCount int
+	cursor    int // next-fit position for base pages
+	hugeCur   int // next-fit position (from top) for huge runs
+	inUse     int
+}
+
+// PhysMem is the machine's physical memory: a contiguous PFN space
+// carved into tiers, a page descriptor per frame, and per-tier frame
+// allocators.
+type PhysMem struct {
+	tiers []tierState
+	pds   []PageDescriptor
+}
+
+// NewPhysMem lays the tiers out back to back in a single PFN space
+// (tier 0 first), mirroring how CPU-less NUMA nodes expose NVM after
+// DRAM in the physical map.
+func NewPhysMem(specs []TierSpec) (*PhysMem, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("mem: at least one tier required")
+	}
+	total := 0
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		total += s.Frames
+	}
+	pm := &PhysMem{
+		tiers: make([]tierState, len(specs)),
+		pds:   make([]PageDescriptor, total),
+	}
+	next := PFN(0)
+	for i, s := range specs {
+		ts := &pm.tiers[i]
+		ts.spec = s
+		ts.base = next
+		ts.free = make([]bool, s.Frames)
+		for f := range ts.free {
+			ts.free[f] = true
+		}
+		ts.freeCount = s.Frames
+		ts.hugeCur = s.Frames
+		for f := 0; f < s.Frames; f++ {
+			pd := &pm.pds[int(next)+f]
+			pd.Frame = next + PFN(f)
+			pd.Tier = TierID(i)
+			pd.PID = -1
+		}
+		next += PFN(s.Frames)
+	}
+	return pm, nil
+}
+
+// Tiers returns the number of tiers.
+func (pm *PhysMem) Tiers() int { return len(pm.tiers) }
+
+// TotalFrames returns the machine's total frame count.
+func (pm *PhysMem) TotalFrames() int { return len(pm.pds) }
+
+// TierSpecOf returns the spec of a tier.
+func (pm *PhysMem) TierSpecOf(t TierID) TierSpec { return pm.tiers[t].spec }
+
+// FreeFrames returns the number of unallocated frames in a tier.
+func (pm *PhysMem) FreeFrames(t TierID) int { return pm.tiers[t].freeCount }
+
+// UsedFrames returns the number of allocated frames in a tier.
+func (pm *PhysMem) UsedFrames(t TierID) int { return pm.tiers[t].inUse }
+
+// TierOf returns the tier containing a frame.
+func (pm *PhysMem) TierOf(pfn PFN) TierID {
+	return pm.pds[pfn].Tier
+}
+
+// PhysToPage returns the page descriptor for the frame holding paddr,
+// the simulator's phys_to_page().
+func (pm *PhysMem) PhysToPage(paddr uint64) *PageDescriptor {
+	return pm.Page(PFNOf(paddr))
+}
+
+// Page returns the descriptor of a frame.
+func (pm *PhysMem) Page(pfn PFN) *PageDescriptor {
+	if int(pfn) >= len(pm.pds) {
+		panic(fmt.Sprintf("mem: PFN %d out of range (total %d frames)", pfn, len(pm.pds)))
+	}
+	return &pm.pds[pfn]
+}
+
+// claim marks one frame allocated and initializes its descriptor.
+func (pm *PhysMem) claim(ts *tierState, local int, pid int, vpn VPN) PFN {
+	ts.free[local] = false
+	ts.freeCount--
+	ts.inUse++
+	pfn := ts.base + PFN(local)
+	pd := &pm.pds[pfn]
+	pd.PID = pid
+	pd.VPage = vpn
+	pd.Flags = FlagAllocated
+	pd.AbitTotal, pd.TraceTotal = 0, 0
+	pd.AbitEpoch, pd.TraceEpoch = 0, 0
+	pd.TrueTotal, pd.TrueEpoch = 0, 0
+	return pfn
+}
+
+// allocIn takes one free frame from a tier using the next-fit cursor.
+func (pm *PhysMem) allocIn(ti int, pid int, vpn VPN) (PFN, bool) {
+	ts := &pm.tiers[ti]
+	if ts.freeCount == 0 {
+		return 0, false
+	}
+	n := len(ts.free)
+	for scanned := 0; scanned < n; scanned++ {
+		i := ts.cursor
+		ts.cursor++
+		if ts.cursor == n {
+			ts.cursor = 0
+		}
+		if ts.free[i] {
+			return pm.claim(ts, i, pid, vpn), true
+		}
+	}
+	return 0, false
+}
+
+// Alloc takes a free frame from the given tier for (pid, vpn). If the
+// tier is exhausted it spills to the next slower tier, the behaviour of
+// a first-come-first-allocate tiered system (the paper's baseline).
+func (pm *PhysMem) Alloc(t TierID, pid int, vpn VPN) (PFN, error) {
+	for ti := int(t); ti < len(pm.tiers); ti++ {
+		if pfn, ok := pm.allocIn(ti, pid, vpn); ok {
+			return pfn, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// AllocIn is like Alloc but fails rather than spilling when the tier is
+// full; the page mover uses it during migrations.
+func (pm *PhysMem) AllocIn(t TierID, pid int, vpn VPN) (PFN, error) {
+	if pfn, ok := pm.allocIn(int(t), pid, vpn); ok {
+		return pfn, nil
+	}
+	return 0, fmt.Errorf("mem: tier %v full: %w", t, ErrOutOfMemory)
+}
+
+// AllocHuge finds a 512-frame aligned contiguous run in the given tier
+// (spilling to slower tiers), claiming every frame for the huge
+// mapping rooted at vpnBase. It returns the base PFN.
+// ErrNoContiguous signals the caller to fall back to base pages,
+// exactly like THP allocation failure.
+func (pm *PhysMem) AllocHuge(t TierID, pid int, vpnBase VPN) (PFN, error) {
+	if uint64(vpnBase)%HugePages != 0 {
+		return 0, fmt.Errorf("mem: huge vpn base %#x not 2 MiB aligned", uint64(vpnBase))
+	}
+	exhausted := true
+	for ti := int(t); ti < len(pm.tiers); ti++ {
+		ts := &pm.tiers[ti]
+		if ts.freeCount < HugePages {
+			continue
+		}
+		exhausted = false
+		if pfn, ok := pm.allocHugeIn(ts, pid, vpnBase, ts.hugeCur); ok {
+			return pfn, nil
+		}
+		// Wrap once: retry from the top of the tier.
+		if ts.hugeCur != len(ts.free) {
+			if pfn, ok := pm.allocHugeIn(ts, pid, vpnBase, len(ts.free)); ok {
+				return pfn, nil
+			}
+		}
+	}
+	if exhausted {
+		return 0, ErrOutOfMemory
+	}
+	return 0, ErrNoContiguous
+}
+
+// allocHugeIn scans downward from the local index `from` for an
+// aligned free run of HugePages frames and claims it.
+func (pm *PhysMem) allocHugeIn(ts *tierState, pid int, vpnBase VPN, from int) (PFN, bool) {
+	start := from - HugePages
+	if start >= 0 {
+		// Align the tier-local start so the resulting PFN is 2 MiB
+		// aligned.
+		start -= (int(ts.base) + start) % HugePages
+	}
+	for ; start >= 0; start -= HugePages {
+		runFree := true
+		for i := start; i < start+HugePages; i++ {
+			if !ts.free[i] {
+				runFree = false
+				break
+			}
+		}
+		if !runFree {
+			continue
+		}
+		for i := 0; i < HugePages; i++ {
+			pm.claim(ts, start+i, pid, vpnBase+VPN(i))
+		}
+		ts.hugeCur = start
+		return ts.base + PFN(start), true
+	}
+	return 0, false
+}
+
+// Free returns a frame to its tier's free bitmap.
+func (pm *PhysMem) Free(pfn PFN) {
+	pd := &pm.pds[pfn]
+	if !pd.Allocated() {
+		panic(fmt.Sprintf("mem: double free of PFN %d", pfn))
+	}
+	pd.Flags = 0
+	pd.PID = -1
+	ts := &pm.tiers[pd.Tier]
+	local := int(pfn - ts.base)
+	ts.free[local] = true
+	ts.freeCount++
+	ts.inUse--
+}
+
+// FreeHuge releases all 512 frames of a huge allocation.
+func (pm *PhysMem) FreeHuge(basePFN PFN) {
+	for i := 0; i < HugePages; i++ {
+		pm.Free(basePFN + PFN(i))
+	}
+}
+
+// ForEachAllocated invokes fn for every allocated frame, ascending PFN.
+func (pm *PhysMem) ForEachAllocated(fn func(*PageDescriptor)) {
+	for i := range pm.pds {
+		if pm.pds[i].Allocated() {
+			fn(&pm.pds[i])
+		}
+	}
+}
+
+// ResetEpochAll folds every allocated frame's epoch counters into its
+// totals, the bulk form of PageDescriptor.ResetEpoch used at epoch
+// horizons.
+func (pm *PhysMem) ResetEpochAll() {
+	for i := range pm.pds {
+		if pm.pds[i].Allocated() {
+			pm.pds[i].ResetEpoch()
+		}
+	}
+}

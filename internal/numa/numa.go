@@ -1,0 +1,173 @@
+// Package numa arranges the simulated machine as a multi-socket NUMA
+// system with NVM exposed as a CPU-less node — the configuration the
+// Linux community proposals the paper cites (§II-A, [11][12]) converge
+// on: each socket owns a local DRAM node, NVM hangs off the system as
+// a node with no CPUs, and all of it shares one physical address
+// space. The paper's point stands either way: the profiling problem
+// ("which pages are hot?") is identical whether the slow region is a
+// remote socket or an NVM DIMM, so TMP "benefits both NUMA and tiered
+// memory".
+//
+// The package supplies three pieces that bolt onto a cpu.Machine:
+// a tier layout (one DRAM tier per socket plus the NVM tier), a
+// latency adjuster that charges remote-socket DRAM its interconnect
+// premium, and fault handlers implementing local-first and interleaved
+// allocation.
+package numa
+
+import (
+	"fmt"
+
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+)
+
+// Topology describes the socket layout.
+type Topology struct {
+	// Sockets is the number of CPU-ful nodes.
+	Sockets int
+	// CoresPerSocket partitions the machine's cores across sockets
+	// (core i lives on socket i / CoresPerSocket).
+	CoresPerSocket int
+	// RemoteFactor multiplies DRAM latency for cross-socket accesses
+	// (typical 2-hop NUMA factors are 1.4-2.1).
+	RemoteFactor float64
+	// DRAMFramesPerSocket sizes each socket's local memory.
+	DRAMFramesPerSocket int
+	// NVMFrames sizes the CPU-less node.
+	NVMFrames int
+}
+
+// Validate reports configuration errors.
+func (t Topology) Validate() error {
+	if t.Sockets < 1 {
+		return fmt.Errorf("numa: sockets %d must be positive", t.Sockets)
+	}
+	if t.CoresPerSocket < 1 {
+		return fmt.Errorf("numa: cores per socket %d must be positive", t.CoresPerSocket)
+	}
+	if t.RemoteFactor < 1 {
+		return fmt.Errorf("numa: remote factor %v must be >= 1", t.RemoteFactor)
+	}
+	if t.DRAMFramesPerSocket < 1 || t.NVMFrames < 0 {
+		return fmt.Errorf("numa: frame counts invalid")
+	}
+	return nil
+}
+
+// Tiers builds the machine's tier layout: sockets' DRAM nodes first
+// (tier i = socket i), then the CPU-less NVM node.
+func (t Topology) Tiers() []mem.TierSpec {
+	var specs []mem.TierSpec
+	for i := 0; i < t.Sockets; i++ {
+		specs = append(specs, mem.TierSpec{
+			Name:         fmt.Sprintf("dram-node%d", i),
+			Frames:       t.DRAMFramesPerSocket,
+			ReadLatency:  80,
+			WriteLatency: 80,
+		})
+	}
+	if t.NVMFrames > 0 {
+		specs = append(specs, mem.TierSpec{
+			Name:         "nvm-node",
+			Frames:       t.NVMFrames,
+			ReadLatency:  320,
+			WriteLatency: 640,
+		})
+	}
+	return specs
+}
+
+// NVMTier returns the CPU-less node's tier ID.
+func (t Topology) NVMTier() mem.TierID { return mem.TierID(t.Sockets) }
+
+// SocketOf maps a core to its socket.
+func (t Topology) SocketOf(coreID int) int {
+	s := coreID / t.CoresPerSocket
+	if s >= t.Sockets {
+		s = t.Sockets - 1
+	}
+	return s
+}
+
+// Adjuster returns the latency hook: local DRAM at base cost, remote
+// DRAM at RemoteFactor times base, NVM unadjusted (its tier latency
+// already includes the media cost; it is equidistant in this layout).
+func (t Topology) Adjuster() func(coreID int, tier mem.TierID, base int64) int64 {
+	return func(coreID int, tier mem.TierID, base int64) int64 {
+		if int(tier) >= t.Sockets {
+			return base // NVM node
+		}
+		if int(tier) == t.SocketOf(coreID) {
+			return base
+		}
+		return int64(float64(base) * t.RemoteFactor)
+	}
+}
+
+// Attach configures a machine with the topology's latency adjuster and
+// the given allocation policy.
+func (t Topology) Attach(m *cpu.Machine, policy AllocPolicy) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	m.SetLatencyAdjuster(t.Adjuster())
+	switch policy {
+	case LocalFirst:
+		m.SetFaultHandler(t.localFirstFault(m))
+	case Interleave:
+		m.SetFaultHandler(t.interleaveFault(m))
+	default:
+		return fmt.Errorf("numa: unknown allocation policy %d", policy)
+	}
+	return nil
+}
+
+// AllocPolicy selects the demand-allocation strategy.
+type AllocPolicy int
+
+const (
+	// LocalFirst allocates on the faulting core's socket, spilling to
+	// the other sockets and then NVM — Linux's default NUMA policy.
+	LocalFirst AllocPolicy = iota
+	// Interleave round-robins allocations across the DRAM nodes, the
+	// bandwidth-oriented alternative.
+	Interleave
+)
+
+// localFirstFault prefers the faulting process's socket.
+func (t Topology) localFirstFault(m *cpu.Machine) cpu.FaultHandler {
+	return func(pid int, vpn mem.VPN, write bool) (mem.PFN, error) {
+		home := t.SocketOf(m.CoreFor(pid).ID)
+		// Local node, then the other sockets, then NVM (Alloc spills
+		// to every tier at or below the starting one, so start local
+		// and fall back explicitly for the wrap-around sockets).
+		if pfn, err := m.Phys.AllocIn(mem.TierID(home), pid, vpn); err == nil {
+			return pfn, nil
+		}
+		for s := 0; s < t.Sockets; s++ {
+			if s == home {
+				continue
+			}
+			if pfn, err := m.Phys.AllocIn(mem.TierID(s), pid, vpn); err == nil {
+				return pfn, nil
+			}
+		}
+		return m.Phys.AllocIn(t.NVMTier(), pid, vpn)
+	}
+}
+
+// interleaveFault round-robins across sockets.
+func (t Topology) interleaveFault(m *cpu.Machine) cpu.FaultHandler {
+	next := 0
+	return func(pid int, vpn mem.VPN, write bool) (mem.PFN, error) {
+		for attempt := 0; attempt < t.Sockets; attempt++ {
+			s := next % t.Sockets
+			next++
+			if pfn, err := m.Phys.AllocIn(mem.TierID(s), pid, vpn); err == nil {
+				return pfn, nil
+			}
+		}
+		return m.Phys.AllocIn(t.NVMTier(), pid, vpn)
+	}
+}

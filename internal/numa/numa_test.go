@@ -1,0 +1,204 @@
+package numa
+
+import (
+	"testing"
+
+	"tieredmem/internal/cache"
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/tlb"
+	"tieredmem/internal/trace"
+)
+
+func twoSocket() Topology {
+	return Topology{
+		Sockets:             2,
+		CoresPerSocket:      1,
+		RemoteFactor:        1.6,
+		DRAMFramesPerSocket: 64,
+		NVMFrames:           256,
+	}
+}
+
+func numaMachine(t *testing.T, topo Topology, pol AllocPolicy) *cpu.Machine {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = topo.Sockets * topo.CoresPerSocket
+	cfg.PrefetchDegree = 0
+	cfg.CtxSwitchNS = 0
+	cfg.L1D = cache.Config{SizeBytes: 4 << 10, Ways: 2}
+	cfg.L2 = cache.Config{SizeBytes: 16 << 10, Ways: 4}
+	cfg.LLC = cache.Config{SizeBytes: 64 << 10, Ways: 4}
+	cfg.L1TLB = tlb.Config{Entries: 16, Ways: 4}
+	cfg.L2TLB = tlb.Config{Entries: 64, Ways: 4}
+	m, err := cpu.NewMachine(cfg, topo.Tiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Attach(m, pol); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func load(pid int, vaddr uint64) trace.Ref {
+	return trace.Ref{PID: pid, VAddr: vaddr, Kind: trace.Load}
+}
+
+func TestValidate(t *testing.T) {
+	good := twoSocket()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+	bad := twoSocket()
+	bad.RemoteFactor = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Errorf("sub-1 remote factor accepted")
+	}
+}
+
+func TestTiersLayout(t *testing.T) {
+	topo := twoSocket()
+	tiers := topo.Tiers()
+	if len(tiers) != 3 {
+		t.Fatalf("tiers = %d, want 2 DRAM + 1 NVM", len(tiers))
+	}
+	if tiers[0].Name != "dram-node0" || tiers[2].Name != "nvm-node" {
+		t.Errorf("tier names wrong: %v", tiers)
+	}
+	if topo.NVMTier() != 2 {
+		t.Errorf("NVM tier = %d", topo.NVMTier())
+	}
+}
+
+func TestSocketOf(t *testing.T) {
+	topo := Topology{Sockets: 2, CoresPerSocket: 3}
+	cases := map[int]int{0: 0, 2: 0, 3: 1, 5: 1, 99: 1}
+	for core, want := range cases {
+		if got := topo.SocketOf(core); got != want {
+			t.Errorf("SocketOf(%d) = %d, want %d", core, got, want)
+		}
+	}
+}
+
+func TestLocalFirstAllocatesOnHomeSocket(t *testing.T) {
+	topo := twoSocket()
+	m := numaMachine(t, topo, LocalFirst)
+	// PID 1 -> core 0 (socket 0); PID 2 -> core 1 (socket 1).
+	if _, err := m.Execute(load(1, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(load(2, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	pfn1, _ := m.Table(1).Frame(mem.VPNOf(0x1000))
+	pfn2, _ := m.Table(2).Frame(mem.VPNOf(0x1000))
+	if m.Phys.TierOf(pfn1) != 0 {
+		t.Errorf("pid 1's page on tier %v, want socket 0", m.Phys.TierOf(pfn1))
+	}
+	if m.Phys.TierOf(pfn2) != 1 {
+		t.Errorf("pid 2's page on tier %v, want socket 1", m.Phys.TierOf(pfn2))
+	}
+}
+
+func TestLocalFirstSpillsRemoteThenNVM(t *testing.T) {
+	topo := twoSocket()
+	m := numaMachine(t, topo, LocalFirst)
+	// Fill socket 0 (64 frames) from pid 1.
+	for i := uint64(0); i < 64; i++ {
+		if _, err := m.Execute(load(1, i*4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Next allocation spills to socket 1.
+	m.Execute(load(1, 64*4096))
+	pfn, _ := m.Table(1).Frame(64)
+	if m.Phys.TierOf(pfn) != 1 {
+		t.Fatalf("spill went to tier %v, want remote socket 1", m.Phys.TierOf(pfn))
+	}
+	// Fill socket 1 too, then NVM takes over.
+	for i := uint64(65); i < 129; i++ {
+		m.Execute(load(1, i*4096))
+	}
+	pfn, ok := m.Table(1).Frame(128)
+	if !ok {
+		t.Fatalf("page 128 unmapped")
+	}
+	if m.Phys.TierOf(pfn) != topo.NVMTier() {
+		t.Errorf("second spill went to tier %v, want NVM", m.Phys.TierOf(pfn))
+	}
+}
+
+func TestInterleaveSpreadsAcrossSockets(t *testing.T) {
+	topo := twoSocket()
+	m := numaMachine(t, topo, Interleave)
+	counts := map[mem.TierID]int{}
+	for i := uint64(0); i < 40; i++ {
+		if _, err := m.Execute(load(1, i*4096)); err != nil {
+			t.Fatal(err)
+		}
+		pfn, _ := m.Table(1).Frame(mem.VPN(i))
+		counts[m.Phys.TierOf(pfn)]++
+	}
+	if counts[0] != 20 || counts[1] != 20 {
+		t.Errorf("interleave split = %v, want 20/20", counts)
+	}
+}
+
+func TestRemoteAccessChargesPremium(t *testing.T) {
+	topo := twoSocket()
+	m := numaMachine(t, topo, Interleave)
+	// Two cold pages from pid 1 (core 0): one lands local (socket 0),
+	// one remote (socket 1) under interleaving. Copy latencies out —
+	// the Outcome pointer is reused per core.
+	o1, _ := m.Execute(load(1, 0x0000)) // socket 0: local
+	localLat := o1.Latency
+	o2, _ := m.Execute(load(1, 0x1000)) // socket 1: remote
+	remoteLat := o2.Latency
+	if remoteLat <= localLat {
+		t.Errorf("remote access (%d ns) not above local (%d ns)", remoteLat, localLat)
+	}
+	// The premium is the DRAM read latency scaled by RemoteFactor:
+	// 80 * 0.6 = 48 extra ns.
+	if remoteLat-localLat != 48 {
+		t.Errorf("remote premium = %d ns, want 48", remoteLat-localLat)
+	}
+}
+
+func TestLocalFirstBeatsInterleaveForPrivateWorkingSets(t *testing.T) {
+	// Per-process private data: local-first keeps every access on the
+	// home socket; interleave sends half of them across the fabric.
+	run := func(pol AllocPolicy) int64 {
+		topo := twoSocket()
+		m := numaMachine(t, topo, pol)
+		for round := 0; round < 50; round++ {
+			for pid := 1; pid <= 2; pid++ {
+				for i := uint64(0); i < 32; i++ {
+					// Large strides defeat the caches via set pressure.
+					if _, err := m.Execute(load(pid, i*4096)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return m.Now()
+	}
+	local := run(LocalFirst)
+	inter := run(Interleave)
+	if local >= inter {
+		t.Errorf("local-first (%d ns) not faster than interleave (%d ns) on private working sets", local, inter)
+	}
+}
+
+func TestAttachRejectsBadPolicy(t *testing.T) {
+	topo := twoSocket()
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 2
+	m, err := cpu.NewMachine(cfg, topo.Tiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Attach(m, AllocPolicy(99)); err == nil {
+		t.Errorf("unknown policy accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package policy
+
+import "tieredmem/internal/core"
+
+// HitrateResult is one policy arm's outcome over a run: the paper's
+// Fig. 6 metric — tier-1 memory accesses relative to total memory
+// accesses, computed per epoch from ground truth and averaged over the
+// run weighted by access volume.
+type HitrateResult struct {
+	Policy   string
+	Method   core.Method
+	Ratio    int // denominator of the tier-1:total capacity ratio (8..128)
+	Hits     uint64
+	Total    uint64
+	Epochs   int
+	Migrated uint64 // pages that entered/left the selection across epochs
+}
+
+// Hitrate returns the fraction of memory accesses served by tier 1.
+func (r HitrateResult) Hitrate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// EvaluateHitrate replays a sequence of per-epoch harvests through a
+// policy arm offline, exactly as the paper computed Fig. 6 from
+// profiling data collected on real hardware: at each epoch horizon the
+// policy picks tier-1 residents using the chosen method's evidence,
+// and the epoch's ground-truth memory accesses score hits and misses.
+// capacity is the tier-1 size in pages.
+//
+// Epoch e's selection is made from prev=epochs[e-1] and
+// next=epochs[e]; the first epoch has an empty prev, so reactive
+// policies start cold, as they do in reality.
+func EvaluateHitrate(p Policy, epochs []core.EpochStats, method core.Method, capacity int) HitrateResult {
+	res := HitrateResult{Policy: p.Name(), Method: method, Epochs: len(epochs)}
+	var prevSel Selection
+	var prev core.EpochStats
+	for i, ep := range epochs {
+		sel := p.Select(prev, ep, method, capacity)
+		for _, ps := range ep.Pages {
+			if ps.True == 0 {
+				continue
+			}
+			res.Total += uint64(ps.True)
+			if _, ok := sel[ps.Key]; ok {
+				res.Hits += uint64(ps.True)
+			}
+		}
+		if i > 0 {
+			res.Migrated += uint64(selectionDelta(prevSel, sel))
+		}
+		prevSel = sel
+		prev = ep
+	}
+	return res
+}
+
+// selectionDelta counts pages that entered the selection (promotions;
+// demotions are symmetric when capacity is constant).
+func selectionDelta(old, new Selection) int {
+	n := 0
+	for k := range new {
+		if _, ok := old[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// CapacityForRatio converts a 1/ratio tier-1 share of a footprint into
+// a page capacity (minimum one page). Fig. 6 sweeps ratio over
+// {8, 16, 32, 64, 128}.
+func CapacityForRatio(footprintPages, ratio int) int {
+	if ratio <= 0 {
+		ratio = 1
+	}
+	c := footprintPages / ratio
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Fig6Ratios are the tier-1:total capacity ratios the paper sweeps.
+var Fig6Ratios = []int{8, 16, 32, 64, 128}

@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/mem"
+)
+
+// Mover implements the paper's §IV step 3: it physically relocates
+// pages across tiers at epoch horizons while processes run. Virtual
+// addresses never change — the mover allocates a frame in the target
+// tier, copies, remaps the PTE, frees the old frame, and issues one
+// machine-wide TLB shootdown per epoch for the whole batch (the reason
+// the paper chose epoch-based policies in the first place).
+type Mover struct {
+	machine *cpu.Machine
+	// CostPerPageNS is the per-page migration expense (copy + fixups)
+	// charged to the core running the mover; the paper's emulation
+	// uses 50 us.
+	CostPerPageNS int64
+	// MinPromoteRank gates promotions: a slow-tier page is only
+	// worth a migration when its evidence reaches this rank ("to
+	// justify the migration cost, the hottest pages should be
+	// migrated", §IV). Rank 2 means corroborated evidence — an A-bit
+	// observation plus at least one trace sample, or repeated
+	// samples. 0 disables the gate.
+	MinPromoteRank uint64
+	// MoverCore pays migration costs.
+	MoverCore int
+
+	// Stats.
+	Promotions uint64
+	Demotions  uint64
+	Splits     uint64 // THP splits forced by partial-huge migrations
+	Shootdowns uint64
+	OverheadNS int64
+	Failed     uint64 // migrations skipped (capacity or vanished mapping)
+
+	charged int64 // portion of OverheadNS already charged to MoverCore
+}
+
+// NewMover builds a mover with the paper's 50 us per-page cost.
+func NewMover(m *cpu.Machine) *Mover {
+	return &Mover{machine: m, CostPerPageNS: 50_000}
+}
+
+// migrate moves one mapped page to the target tier, splitting a huge
+// mapping first (Linux migrates THP by splitting unless the whole
+// 2 MiB moves; hot subpages rarely cover a whole huge page, so the
+// mover splits). The caller batches the shootdown.
+func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
+	phys := mv.machine.Phys
+	table, ok := mv.machine.Tables()[key.PID]
+	if !ok {
+		return fmt.Errorf("policy: pid %d has no page table", key.PID)
+	}
+	pte, huge := table.Resolve(key.VPN)
+	if pte == nil {
+		return fmt.Errorf("policy: page pid=%d vpn=%#x no longer mapped", key.PID, uint64(key.VPN))
+	}
+	if huge {
+		table.SplitHuge(key.VPN)
+		mv.Splits++
+		// A split is roughly one page move of work.
+		mv.OverheadNS += mv.machine.SoftCost(mv.CostPerPageNS)
+	}
+	oldPFN, ok := table.Frame(key.VPN)
+	if !ok {
+		return fmt.Errorf("policy: page pid=%d vpn=%#x vanished during split", key.PID, uint64(key.VPN))
+	}
+	oldPD := phys.Page(oldPFN)
+	if oldPD.Tier == target {
+		return nil
+	}
+	if oldPD.Flags&mem.FlagNonMigratable != 0 {
+		return fmt.Errorf("policy: page pid=%d vpn=%#x is pinned", key.PID, uint64(key.VPN))
+	}
+	newPFN, err := phys.AllocIn(target, key.PID, key.VPN)
+	if err != nil {
+		return err
+	}
+	// Preserve accumulated profiling state across the move: hotness
+	// belongs to the logical page, not the frame.
+	newPD := phys.Page(newPFN)
+	newPD.AbitTotal, newPD.TraceTotal = oldPD.AbitTotal, oldPD.TraceTotal
+	newPD.AbitEpoch, newPD.TraceEpoch = oldPD.AbitEpoch, oldPD.TraceEpoch
+	newPD.TrueTotal, newPD.TrueEpoch = oldPD.TrueTotal, oldPD.TrueEpoch
+	newPD.Flags |= oldPD.Flags & mem.FlagPoisoned
+
+	if !table.Remap(key.VPN, newPFN) {
+		phys.Free(newPFN)
+		return fmt.Errorf("policy: remap failed for pid=%d vpn=%#x", key.PID, uint64(key.VPN))
+	}
+	phys.Free(oldPFN)
+	mv.OverheadNS += mv.machine.SoftCost(mv.CostPerPageNS)
+	return nil
+}
+
+// ApplySelection reconciles physical placement with a policy's tier-1
+// selection: demotes unselected fast-tier pages coldest-first (making
+// room), then promotes selected slow-tier pages, then issues one
+// shootdown for the whole batch. ranks supplies the epoch's hotness
+// per page (missing keys count as zero, i.e. coldest); it protects
+// hot-but-unsampled residents from being evicted to fit a handful of
+// promotions. It returns (promoted, demoted).
+func (mv *Mover) ApplySelection(sel Selection, ranks map[core.PageKey]uint64) (int, int) {
+	phys := mv.machine.Phys
+	var demote []core.PageKey
+	var promote []core.PageKey
+	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
+		if pd.Flags&mem.FlagNonMigratable != 0 {
+			return
+		}
+		key := core.PageKey{PID: pd.PID, VPN: pd.VPage}
+		_, selected := sel[key]
+		switch {
+		case pd.Tier == mem.FastTier && !selected:
+			demote = append(demote, key)
+		case pd.Tier != mem.FastTier && selected:
+			if ranks[key] < mv.MinPromoteRank {
+				break // not enough evidence to pay for the move
+			}
+			promote = append(promote, key)
+		}
+	})
+	sort.Slice(demote, func(i, j int) bool {
+		ri, rj := ranks[demote[i]], ranks[demote[j]]
+		if ri != rj {
+			return ri < rj
+		}
+		if demote[i].PID != demote[j].PID {
+			return demote[i].PID < demote[j].PID
+		}
+		return demote[i].VPN < demote[j].VPN
+	})
+
+	demoted, promoted := 0, 0
+	for _, key := range demote {
+		// Only demote as many as needed to fit the promotions plus
+		// any fast-tier overflow.
+		if phys.FreeFrames(mem.FastTier) >= len(promote)-promoted {
+			break
+		}
+		if err := mv.migrate(key, mem.SlowTier); err != nil {
+			mv.Failed++
+			continue
+		}
+		demoted++
+	}
+	for _, key := range promote {
+		if phys.FreeFrames(mem.FastTier) == 0 {
+			mv.Failed++
+			continue
+		}
+		if err := mv.migrate(key, mem.FastTier); err != nil {
+			mv.Failed++
+			continue
+		}
+		promoted++
+	}
+	mv.Promotions += uint64(promoted)
+	mv.Demotions += uint64(demoted)
+
+	if promoted+demoted > 0 {
+		// One shootdown covers the whole epoch's batch.
+		cost := mv.machine.FlushAllTLBs()
+		mv.Shootdowns++
+		mv.OverheadNS += cost
+	}
+	if mv.OverheadNS > 0 {
+		mv.machine.Core(mv.MoverCore).AdvanceClock(mv.chargeDelta())
+	}
+	return promoted, demoted
+}
+
+// chargeDelta charges newly accumulated overhead exactly once.
+func (mv *Mover) chargeDelta() int64 {
+	d := mv.OverheadNS - mv.charged
+	mv.charged = mv.OverheadNS
+	return d
+}

@@ -1,0 +1,182 @@
+// Package policy implements the tiered-memory placement policies of
+// the paper's §IV step 2 (Table II): the predictive Oracle upper bound
+// and the practical History policy, plus the first-come-first-allocate
+// baseline the end-to-end evaluation compares against and an
+// EWMA-decayed extension. Policies are epoch-based: pages move in
+// batch at epoch horizons so one TLB shootdown covers every migration.
+//
+// The package also provides the offline hitrate evaluator behind
+// Fig. 6 (policies computed over profiling data, hitrate measured
+// against ground truth) and the live page mover used by the
+// end-to-end emulation (§IV step 3).
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"tieredmem/internal/core"
+)
+
+// Selection is the set of pages a policy placed in tier 1 for an
+// epoch.
+type Selection map[core.PageKey]struct{}
+
+// Policy chooses tier-1 residents at each epoch horizon.
+type Policy interface {
+	Name() string
+	// Select returns the pages to hold in tier 1 during the epoch
+	// that starts now. prev is the harvest of the epoch that just
+	// ended; next is the harvest of the coming epoch (only the
+	// Oracle may look at it — it "assumes knowledge of how many
+	// times each page will be accessed in the coming epoch").
+	// capacity is the tier-1 size in pages; method selects which
+	// profiling evidence ranks pages.
+	Select(prev, next core.EpochStats, method core.Method, capacity int) Selection
+}
+
+// takeTop picks the top-capacity pages from ranked stats.
+func takeTop(ranked []core.PageStat, capacity int) Selection {
+	sel := make(Selection, capacity)
+	for i := 0; i < len(ranked) && i < capacity; i++ {
+		sel[ranked[i].Key] = struct{}{}
+	}
+	return sel
+}
+
+// Oracle brings the coming epoch's hottest pages (as the chosen
+// profiling method will observe them) into tier 1 at the start of the
+// epoch — the upper limit for policy design.
+type Oracle struct{}
+
+// Name implements Policy.
+func (Oracle) Name() string { return "oracle" }
+
+// Select implements Policy.
+func (Oracle) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
+	return takeTop(core.RankedPages(next, method), capacity)
+}
+
+// History brings the previous epoch's hottest pages into tier 1: the
+// simple yet practical reactive policy.
+type History struct{}
+
+// Name implements Policy.
+func (History) Name() string { return "history" }
+
+// Select implements Policy.
+func (History) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
+	return takeTop(core.RankedPages(prev, method), capacity)
+}
+
+// FirstTouch is the NUMA-like first-come-first-allocate baseline: the
+// first pages ever observed stay in tier 1 forever; nothing migrates.
+type FirstTouch struct {
+	resident Selection
+	order    []core.PageKey
+}
+
+// NewFirstTouch returns an empty baseline.
+func NewFirstTouch() *FirstTouch {
+	return &FirstTouch{resident: make(Selection)}
+}
+
+// Name implements Policy.
+func (f *FirstTouch) Name() string { return "first-touch" }
+
+// Select implements Policy. It admits newly seen pages (in first-seen
+// order, using ground truth: allocation order does not depend on any
+// profiler) until capacity is reached.
+func (f *FirstTouch) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
+	// Stabilize first-seen order within the epoch by key.
+	keys := make([]core.PageKey, 0, len(prev.Pages))
+	for _, ps := range prev.Pages {
+		if ps.True == 0 {
+			continue
+		}
+		if _, ok := f.resident[ps.Key]; !ok {
+			keys = append(keys, ps.Key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].PID != keys[j].PID {
+			return keys[i].PID < keys[j].PID
+		}
+		return keys[i].VPN < keys[j].VPN
+	})
+	for _, k := range keys {
+		if len(f.order) >= capacity {
+			break
+		}
+		f.resident[k] = struct{}{}
+		f.order = append(f.order, k)
+	}
+	out := make(Selection, len(f.resident))
+	for k := range f.resident {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Decay is an extension policy (not in the paper's Table II, listed in
+// DESIGN.md as an ablation): it ranks pages by an exponentially
+// weighted moving average of their per-epoch rank, smoothing the
+// reactive History policy against Monte-Carlo access noise.
+type Decay struct {
+	// Alpha in (0,1]: weight of the newest epoch. Alpha=1 degrades
+	// to History.
+	Alpha  float64
+	scores map[core.PageKey]float64
+}
+
+// NewDecay builds the EWMA policy.
+func NewDecay(alpha float64) *Decay {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &Decay{Alpha: alpha, scores: make(map[core.PageKey]float64)}
+}
+
+// Name implements Policy.
+func (d *Decay) Name() string { return fmt.Sprintf("decay(%.2f)", d.Alpha) }
+
+// Select implements Policy.
+func (d *Decay) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
+	seen := make(map[core.PageKey]struct{}, len(prev.Pages))
+	for _, ps := range prev.Pages {
+		seen[ps.Key] = struct{}{}
+		d.scores[ps.Key] = d.scores[ps.Key]*(1-d.Alpha) + float64(ps.Rank(method))*d.Alpha
+	}
+	for k := range d.scores {
+		if _, ok := seen[k]; !ok {
+			d.scores[k] *= 1 - d.Alpha
+			if d.scores[k] < 1e-6 {
+				delete(d.scores, k)
+			}
+		}
+	}
+	type kv struct {
+		k core.PageKey
+		v float64
+	}
+	ranked := make([]kv, 0, len(d.scores))
+	for k, v := range d.scores {
+		if v > 0 {
+			ranked = append(ranked, kv{k, v})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].v != ranked[j].v {
+			return ranked[i].v > ranked[j].v
+		}
+		if ranked[i].k.PID != ranked[j].k.PID {
+			return ranked[i].k.PID < ranked[j].k.PID
+		}
+		return ranked[i].k.VPN < ranked[j].k.VPN
+	})
+	sel := make(Selection, capacity)
+	for i := 0; i < len(ranked) && i < capacity; i++ {
+		sel[ranked[i].k] = struct{}{}
+	}
+	return sel
+}

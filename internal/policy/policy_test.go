@@ -1,0 +1,249 @@
+package policy
+
+import (
+	"testing"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/mem"
+)
+
+// mkEpoch builds an epoch where page i (PID 1, VPN i) has the given
+// counts: counts[i] = {abit, trace, true}.
+func mkEpoch(epoch int, counts [][3]uint32) core.EpochStats {
+	ep := core.EpochStats{Epoch: epoch}
+	for i, c := range counts {
+		ep.Pages = append(ep.Pages, core.PageStat{
+			Key:   core.PageKey{PID: 1, VPN: mem.VPN(i)},
+			Tier:  mem.SlowTier,
+			Abit:  c[0],
+			Trace: c[1],
+			True:  c[2],
+		})
+	}
+	return ep
+}
+
+func keys(sel Selection) []uint64 {
+	var out []uint64
+	for k := range sel {
+		out = append(out, uint64(k.VPN))
+	}
+	return out
+}
+
+func TestOracleSelectsFromNextEpoch(t *testing.T) {
+	prev := mkEpoch(0, [][3]uint32{{9, 9, 9}, {0, 0, 0}})
+	next := mkEpoch(1, [][3]uint32{{0, 0, 0}, {5, 5, 5}})
+	sel := Oracle{}.Select(prev, next, core.MethodCombined, 1)
+	if _, ok := sel[core.PageKey{PID: 1, VPN: 1}]; !ok || len(sel) != 1 {
+		t.Errorf("oracle selected %v, want page 1 (hot next epoch)", keys(sel))
+	}
+}
+
+func TestHistorySelectsFromPrevEpoch(t *testing.T) {
+	prev := mkEpoch(0, [][3]uint32{{9, 9, 9}, {0, 0, 0}})
+	next := mkEpoch(1, [][3]uint32{{0, 0, 0}, {5, 5, 5}})
+	sel := History{}.Select(prev, next, core.MethodCombined, 1)
+	if _, ok := sel[core.PageKey{PID: 1, VPN: 0}]; !ok || len(sel) != 1 {
+		t.Errorf("history selected %v, want page 0 (hot last epoch)", keys(sel))
+	}
+}
+
+func TestSelectionRespectsCapacity(t *testing.T) {
+	ep := mkEpoch(0, [][3]uint32{{1, 0, 1}, {2, 0, 1}, {3, 0, 1}, {4, 0, 1}})
+	sel := History{}.Select(ep, core.EpochStats{}, core.MethodCombined, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selection size %d, want 2", len(sel))
+	}
+	// The two hottest (VPN 3 and 2).
+	for _, vpn := range []mem.VPN{3, 2} {
+		if _, ok := sel[core.PageKey{PID: 1, VPN: vpn}]; !ok {
+			t.Errorf("hot page %d missing from %v", vpn, keys(sel))
+		}
+	}
+}
+
+func TestMethodSelectsEvidence(t *testing.T) {
+	// Page 0: A-bit only. Page 1: trace only.
+	ep := mkEpoch(0, [][3]uint32{{5, 0, 1}, {0, 5, 1}})
+	selA := History{}.Select(ep, core.EpochStats{}, core.MethodAbit, 1)
+	if _, ok := selA[core.PageKey{PID: 1, VPN: 0}]; !ok {
+		t.Errorf("abit method ignored A-bit evidence")
+	}
+	selT := History{}.Select(ep, core.EpochStats{}, core.MethodTrace, 1)
+	if _, ok := selT[core.PageKey{PID: 1, VPN: 1}]; !ok {
+		t.Errorf("trace method ignored trace evidence")
+	}
+}
+
+func TestFirstTouchAdmitsInOrderAndSticks(t *testing.T) {
+	ft := NewFirstTouch()
+	ep0 := mkEpoch(0, [][3]uint32{{0, 0, 1}, {0, 0, 1}, {0, 0, 1}})
+	sel := ft.Select(ep0, core.EpochStats{}, core.MethodCombined, 2)
+	if len(sel) != 2 {
+		t.Fatalf("first-touch admitted %d, want 2", len(sel))
+	}
+	// A hotter page arriving later must NOT displace residents.
+	ep1 := mkEpoch(1, [][3]uint32{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {9, 9, 99}})
+	sel2 := ft.Select(ep1, core.EpochStats{}, core.MethodCombined, 2)
+	if len(sel2) != 2 {
+		t.Fatalf("capacity violated: %d", len(sel2))
+	}
+	if _, ok := sel2[core.PageKey{PID: 1, VPN: 3}]; ok {
+		t.Errorf("first-touch migrated a page; it must never migrate")
+	}
+}
+
+func TestDecayConvergesAndForgets(t *testing.T) {
+	d := NewDecay(0.5)
+	hotThenCold := mkEpoch(0, [][3]uint32{{8, 8, 8}, {0, 0, 0}})
+	for i := 0; i < 3; i++ {
+		d.Select(hotThenCold, core.EpochStats{}, core.MethodCombined, 1)
+	}
+	// Page 0 hot: selected.
+	sel := d.Select(hotThenCold, core.EpochStats{}, core.MethodCombined, 1)
+	if _, ok := sel[core.PageKey{PID: 1, VPN: 0}]; !ok {
+		t.Fatalf("decay did not select the hot page")
+	}
+	// Now page 0 goes silent and page 1 becomes hot; the EWMA must
+	// eventually switch over.
+	flipped := mkEpoch(1, [][3]uint32{{0, 0, 0}, {8, 8, 8}})
+	var switched bool
+	for i := 0; i < 10; i++ {
+		sel = d.Select(flipped, core.EpochStats{}, core.MethodCombined, 1)
+		if _, ok := sel[core.PageKey{PID: 1, VPN: 1}]; ok {
+			switched = true
+			break
+		}
+	}
+	if !switched {
+		t.Errorf("decay never adapted to the new hot page")
+	}
+}
+
+func TestDecayAlphaOneBehavesLikeHistory(t *testing.T) {
+	d := NewDecay(1.0)
+	ep := mkEpoch(0, [][3]uint32{{1, 0, 1}, {7, 0, 1}})
+	sel := d.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	hist := History{}.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	if len(sel) != len(hist) {
+		t.Fatalf("sizes differ")
+	}
+	for k := range hist {
+		if _, ok := sel[k]; !ok {
+			t.Errorf("alpha=1 decay diverges from history at %v", k)
+		}
+	}
+}
+
+func TestEvaluateHitrateHandComputed(t *testing.T) {
+	// Two epochs, capacity 1.
+	// Epoch 0: page 0 has 10 true accesses, page 1 has 2.
+	// Epoch 1: page 1 has 10, page 0 has 2.
+	e0 := mkEpoch(0, [][3]uint32{{1, 9, 10}, {1, 1, 2}})
+	e1 := mkEpoch(1, [][3]uint32{{1, 1, 2}, {1, 9, 10}})
+	epochs := []core.EpochStats{e0, e1}
+
+	// Oracle: epoch 0 picks page 0 (10 hits of 12), epoch 1 picks
+	// page 1 (10 of 12): hitrate 20/24.
+	hr := EvaluateHitrate(Oracle{}, epochs, core.MethodCombined, 1)
+	if hr.Hits != 20 || hr.Total != 24 {
+		t.Errorf("oracle hits/total = %d/%d, want 20/24", hr.Hits, hr.Total)
+	}
+
+	// History: epoch 0 has no prior evidence (0 hits), epoch 1 uses
+	// epoch 0's ranks -> picks page 0 -> 2 hits. 2/24.
+	hr2 := EvaluateHitrate(History{}, epochs, core.MethodCombined, 1)
+	if hr2.Hits != 2 || hr2.Total != 24 {
+		t.Errorf("history hits/total = %d/%d, want 2/24", hr2.Hits, hr2.Total)
+	}
+	if hr2.Hitrate() >= hr.Hitrate() {
+		t.Errorf("history should lag oracle on a shifting pattern")
+	}
+}
+
+func TestEvaluateHitrateCountsMigrations(t *testing.T) {
+	e0 := mkEpoch(0, [][3]uint32{{9, 0, 9}, {0, 0, 0}})
+	e1 := mkEpoch(1, [][3]uint32{{0, 0, 0}, {9, 0, 9}})
+	hr := EvaluateHitrate(Oracle{}, []core.EpochStats{e0, e1}, core.MethodCombined, 1)
+	if hr.Migrated != 1 {
+		t.Errorf("Migrated = %d, want 1 (selection flipped once)", hr.Migrated)
+	}
+}
+
+func TestCapacityForRatio(t *testing.T) {
+	if CapacityForRatio(1000, 8) != 125 {
+		t.Errorf("CapacityForRatio(1000,8) = %d", CapacityForRatio(1000, 8))
+	}
+	if CapacityForRatio(3, 8) != 1 {
+		t.Errorf("capacity floor broken")
+	}
+	if CapacityForRatio(100, 0) != 100 {
+		t.Errorf("ratio 0 not treated as 1")
+	}
+}
+
+func TestPredictorTrustsStablePages(t *testing.T) {
+	p := NewPredictor()
+	// Page 0: steady rank 8. Page 1: oscillates 0/16 (same mean).
+	for i := 0; i < 6; i++ {
+		var osc uint32
+		if i%2 == 1 {
+			osc = 16
+		}
+		ep := mkEpoch(i, [][3]uint32{{8, 0, 8}, {osc, 0, 8}})
+		p.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	}
+	// After an epoch where the oscillator read 0, History would pick
+	// page 0 trivially; make the last observation favor the
+	// oscillator (16 > 8) — the predictor should still prefer the
+	// stable page because the oscillator has no confidence.
+	ep := mkEpoch(6, [][3]uint32{{8, 0, 8}, {16, 0, 8}})
+	sel := p.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	if _, ok := sel[core.PageKey{PID: 1, VPN: 0}]; !ok {
+		t.Errorf("predictor chose the erratic page over the stable one: %v", keys(sel))
+	}
+}
+
+func TestPredictorForgetsDeadPages(t *testing.T) {
+	p := NewPredictor()
+	hot := mkEpoch(0, [][3]uint32{{9, 0, 9}})
+	for i := 0; i < 3; i++ {
+		p.Select(hot, core.EpochStats{}, core.MethodCombined, 1)
+	}
+	empty := core.EpochStats{}
+	for i := 0; i < 40; i++ {
+		p.Select(empty, core.EpochStats{}, core.MethodCombined, 1)
+	}
+	if len(p.state) != 0 {
+		t.Errorf("dead page still tracked: %v", p)
+	}
+}
+
+func TestPredictorColdStartMatchesHistoryDirection(t *testing.T) {
+	p := NewPredictor()
+	ep := mkEpoch(0, [][3]uint32{{1, 0, 1}, {7, 0, 1}})
+	sel := p.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	if _, ok := sel[core.PageKey{PID: 1, VPN: 1}]; !ok {
+		t.Errorf("cold-start predictor ignored the hotter page")
+	}
+}
+
+func TestWriteBiasedPrefersDirtyPages(t *testing.T) {
+	ep := core.EpochStats{Pages: []core.PageStat{
+		{Key: core.PageKey{PID: 1, VPN: 0}, Abit: 2, Trace: 1, Write: 0, True: 5},
+		{Key: core.PageKey{PID: 1, VPN: 1}, Abit: 1, Trace: 0, Write: 4, True: 5},
+	}}
+	// Read rank: page 0 = 3, page 1 = 1. With bias 2, page 1 scores
+	// 1 + 8 = 9 and must win the single slot.
+	sel := WriteBiased{Bias: 2}.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	if _, ok := sel[core.PageKey{PID: 1, VPN: 1}]; !ok {
+		t.Errorf("write-biased policy ignored write heat: %v", keys(sel))
+	}
+	// With bias ~0 it must defer to the read rank... bias<=0 resets
+	// to the default, so use a tiny positive bias.
+	sel0 := WriteBiased{Bias: 0.1}.Select(ep, core.EpochStats{}, core.MethodCombined, 1)
+	if _, ok := sel0[core.PageKey{PID: 1, VPN: 0}]; !ok {
+		t.Errorf("near-zero bias did not defer to read rank: %v", keys(sel0))
+	}
+}

@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"tieredmem/internal/core"
+)
+
+// Predictor is a Kleio-inspired extension policy ([38] in the paper:
+// "a hybrid memory page scheduler with machine intelligence"): instead
+// of reacting to the last epoch (History) or smoothing all epochs
+// (Decay), it keeps a tiny per-page online model — a confidence
+// counter plus a short-term and long-term rate — and predicts the next
+// epoch's rank as a blend weighted by how predictable the page has
+// been. Pages whose heat is stable earn trust and their prediction
+// follows the long-term rate; erratic pages are heavily discounted so
+// a single spike cannot buy a migration (the same instinct as the
+// paper's observation that "the hottest pages should be migrated" to
+// justify the cost).
+type Predictor struct {
+	// MaxConfidence bounds the trust counter (default 8).
+	MaxConfidence int
+	state         map[core.PageKey]*predState
+}
+
+type predState struct {
+	longTerm   float64 // EWMA over all epochs
+	shortTerm  float64 // last epoch's rank
+	confidence int     // grows when longTerm predicted well
+}
+
+// NewPredictor builds the policy.
+func NewPredictor() *Predictor {
+	return &Predictor{MaxConfidence: 8, state: make(map[core.PageKey]*predState)}
+}
+
+// Name implements Policy.
+func (p *Predictor) Name() string { return "predictor" }
+
+// Select implements Policy.
+func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
+	maxConf := p.MaxConfidence
+	if maxConf < 1 {
+		maxConf = 8
+	}
+	seen := make(map[core.PageKey]struct{}, len(prev.Pages))
+	for _, ps := range prev.Pages {
+		r := float64(ps.Rank(method))
+		seen[ps.Key] = struct{}{}
+		st, ok := p.state[ps.Key]
+		if !ok {
+			p.state[ps.Key] = &predState{longTerm: r, shortTerm: r, confidence: 1}
+			continue
+		}
+		// Was the long-term model a good predictor of this epoch?
+		err := st.longTerm - r
+		if err < 0 {
+			err = -err
+		}
+		if err <= 0.25*st.longTerm+1 {
+			if st.confidence < maxConf {
+				st.confidence++
+			}
+		} else if st.confidence > 0 {
+			st.confidence--
+		}
+		st.longTerm = st.longTerm*0.75 + r*0.25
+		st.shortTerm = r
+	}
+	// Pages absent this epoch decay and lose trust.
+	for key, st := range p.state {
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		st.longTerm *= 0.75
+		st.shortTerm = 0
+		if st.confidence > 0 {
+			st.confidence--
+		}
+		if st.longTerm < 0.01 && st.confidence == 0 {
+			delete(p.state, key)
+		}
+	}
+
+	type scored struct {
+		key   core.PageKey
+		score float64
+	}
+	ranked := make([]scored, 0, len(p.state))
+	for key, st := range p.state {
+		w := float64(st.confidence) / float64(maxConf)
+		// Low-confidence observations are discounted: an erratic
+		// page's latest spike contributes a quarter of its face
+		// value, so only sustained heat accumulates a winning score.
+		score := w*st.longTerm + (1-w)*0.25*st.shortTerm
+		if score > 0 {
+			ranked = append(ranked, scored{key, score})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		if ranked[i].key.PID != ranked[j].key.PID {
+			return ranked[i].key.PID < ranked[j].key.PID
+		}
+		return ranked[i].key.VPN < ranked[j].key.VPN
+	})
+	sel := make(Selection, capacity)
+	for i := 0; i < len(ranked) && i < capacity; i++ {
+		sel[ranked[i].key] = struct{}{}
+	}
+	return sel
+}
+
+// String aids debugging.
+func (p *Predictor) String() string {
+	return fmt.Sprintf("predictor(%d pages tracked)", len(p.state))
+}

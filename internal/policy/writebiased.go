@@ -1,0 +1,62 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"tieredmem/internal/core"
+)
+
+// WriteBiased is a CLOCK-DWF-inspired extension policy ([32] in the
+// paper): on media with asymmetric write cost (NVM writes are ~2x
+// reads in our tier model, far worse on real PCM), write-heavy pages
+// benefit disproportionately from living in DRAM. The policy scores a
+// page as its read-side rank plus Bias times its PML write count, so
+// dirty pages win ties against read-mostly pages of equal heat.
+// It requires TMP's PML engine (core.Config.EnablePML).
+type WriteBiased struct {
+	// Bias is the weight of one logged write relative to one
+	// read-side observation.
+	Bias float64
+}
+
+// Name implements Policy.
+func (w WriteBiased) Name() string { return fmt.Sprintf("write-biased(%.1f)", w.Bias) }
+
+// Select implements Policy: History-style (previous epoch's evidence)
+// with the write-biased score.
+func (w WriteBiased) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
+	bias := w.Bias
+	if bias <= 0 {
+		bias = 2
+	}
+	type scored struct {
+		key   core.PageKey
+		score float64
+		fast  bool
+	}
+	ranked := make([]scored, 0, len(prev.Pages))
+	for _, ps := range prev.Pages {
+		s := float64(ps.Rank(method)) + bias*float64(ps.Write)
+		if s > 0 {
+			ranked = append(ranked, scored{key: ps.Key, score: s, fast: ps.Tier == 0})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		if ranked[i].fast != ranked[j].fast {
+			return ranked[i].fast
+		}
+		if ranked[i].key.PID != ranked[j].key.PID {
+			return ranked[i].key.PID < ranked[j].key.PID
+		}
+		return ranked[i].key.VPN < ranked[j].key.VPN
+	})
+	sel := make(Selection, capacity)
+	for i := 0; i < len(ranked) && i < capacity; i++ {
+		sel[ranked[i].key] = struct{}{}
+	}
+	return sel
+}

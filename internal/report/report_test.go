@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 22)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	// Title, header, separator, and both rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	valCol := strings.Index(lines[1], "value")
+	if valCol < 0 {
+		t.Fatalf("no value header")
+	}
+	if lines[4][:18] != "a-much-longer-name" {
+		t.Errorf("long cell mangled: %q", lines[4])
+	}
+	if !strings.Contains(lines[4], "22") {
+		t.Errorf("value missing: %q", lines[4])
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(0.123456)
+	if !strings.Contains(tb.Render(), "0.123") {
+		t.Errorf("float not formatted to 3 places:\n%s", tb.Render())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow(1, "x")
+	tb.AddRow(2, "y")
+	want := "a,b\n1,x\n2,y\n"
+	if got := tb.CSV(); got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	out := SeriesCSV([]Series{
+		{Name: "s1", Points: [][2]float64{{1, 0.5}, {2, 1}}},
+		{Name: "s2", Points: [][2]float64{{3, 0.25}}},
+	})
+	want := "series,x,y\ns1,1,0.5\ns1,2,1\ns2,3,0.25\n"
+	if out != want {
+		t.Errorf("SeriesCSV = %q, want %q", out, want)
+	}
+}

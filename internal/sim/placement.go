@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/cpu"
+	"tieredmem/internal/emul"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/trace"
+	"tieredmem/internal/workload"
+)
+
+// PlacementConfig assembles an end-to-end tiered-memory run (§VI-C):
+// a machine whose fast tier holds only 1/Ratio of the footprint, a
+// placement arm (first-touch baseline or TMP-driven policy), and
+// optionally the BadgerTrap emulation cost model layered on top.
+type PlacementConfig struct {
+	CPU cpu.Config
+	TMP core.Config
+	// Ratio is the footprint:fast-tier ratio (the paper's 4 GB fast /
+	// 60 GB slow testbed is ~1/16).
+	Ratio int
+	// Policy drives migrations at epoch horizons; nil runs the
+	// first-come-first-allocate baseline with no mover and no
+	// profiler.
+	Policy policy.Policy
+	// Method selects the profiling evidence the policy ranks by.
+	Method core.Method
+	// EpochNS is the placement epoch.
+	EpochNS   int64
+	TotalRefs int
+	BatchSize int
+	Huge      bool
+	// EmulCosts, when non-nil, enables the BadgerTrap emulation
+	// framework with these costs (PaperCosts for §VI-C).
+	EmulCosts *emul.Costs
+	// Khugepaged enables the THP collapser: splits from partial-huge
+	// migrations are periodically repaired so the address space does
+	// not degrade to 4 KiB translations for the rest of the run.
+	Khugepaged bool
+}
+
+// DefaultPlacementConfig mirrors DefaultConfig for placement runs.
+func DefaultPlacementConfig(w workload.Workload, ibsPeriod, totalRefs, ratio int, p policy.Policy, m core.Method) PlacementConfig {
+	cpuCfg := cpu.DefaultConfig()
+	cpuCfg.SoftCostDiv = 1_000_000_000 / ScaledSecond
+	tmp := core.DefaultConfig(ibsPeriod)
+	tmp.Abit.Interval = ScaledSecond
+	tmp.FilterInterval = ScaledSecond
+	tmp.HWPC.Window = ScaledSecond / 10
+	return PlacementConfig{
+		CPU:        cpuCfg,
+		TMP:        tmp,
+		Ratio:      ratio,
+		Policy:     p,
+		Method:     m,
+		EpochNS:    ScaledSecond,
+		TotalRefs:  totalRefs,
+		BatchSize:  1024,
+		Huge:       true,
+		Khugepaged: true,
+	}
+}
+
+// PlacementResult summarizes an end-to-end run.
+type PlacementResult struct {
+	Workload   string
+	Arm        string // "first-touch" or the policy/method name
+	Refs       int
+	DurationNS int64
+	NumCores   int
+	// Tier-1 hitrate over memory accesses, measured live.
+	MemAccesses  uint64
+	Tier1Hits    uint64
+	Promotions   uint64
+	Demotions    uint64
+	EmulInjected int64
+	EmulFaults   uint64
+}
+
+// Hitrate returns the live tier-1 memory hitrate.
+func (r PlacementResult) Hitrate() float64 {
+	if r.MemAccesses == 0 {
+		return 0
+	}
+	return float64(r.Tier1Hits) / float64(r.MemAccesses)
+}
+
+// RunPlacement executes an end-to-end tiered run and returns its
+// result. Speedup is computed by the caller as baseline duration over
+// policy duration.
+func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, error) {
+	if cfg.TotalRefs <= 0 {
+		return PlacementResult{}, fmt.Errorf("sim: TotalRefs %d must be positive", cfg.TotalRefs)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1024
+	}
+	if cfg.EpochNS <= 0 {
+		cfg.EpochNS = ScaledSecond
+	}
+	if cfg.Ratio <= 0 {
+		cfg.Ratio = 16
+	}
+	footPages := int(w.FootprintBytes() >> mem.PageShift)
+	fast := footPages/cfg.Ratio + mem.HugePages // slack so huge faults can land
+	slow := footPages + footPages/4 + mem.HugePages
+	m, err := cpu.NewMachine(cfg.CPU, mem.DefaultTiers(fast, slow))
+	if err != nil {
+		return PlacementResult{}, err
+	}
+	if cfg.Huge {
+		m.SetHugeHint(workload.HugeHintFor(w))
+	}
+
+	res := PlacementResult{Workload: w.Name(), Arm: "first-touch", NumCores: len(m.Cores())}
+
+	var prof *core.Profiler
+	var mover *policy.Mover
+	if cfg.Policy != nil {
+		res.Arm = fmt.Sprintf("%s/%s", cfg.Policy.Name(), cfg.Method)
+		prof, err = core.New(cfg.TMP, m, nil)
+		if err != nil {
+			return PlacementResult{}, err
+		}
+		for _, pid := range w.Processes() {
+			prof.Register(pid)
+		}
+		mover = policy.NewMover(m)
+	}
+	var collapser *policy.Collapser
+	if cfg.Khugepaged && cfg.Huge {
+		collapser = policy.NewCollapser(m)
+	}
+
+	var em *emul.Emulator
+	if cfg.EmulCosts != nil {
+		costs := *cfg.EmulCosts
+		if costs.WindowNS <= 0 {
+			costs.WindowNS = cfg.EpochNS
+		}
+		em, err = emul.New(costs, m)
+		if err != nil {
+			return PlacementResult{}, err
+		}
+		if mover != nil {
+			// Under emulation the paper's migration cost replaces
+			// the mover's own estimate.
+			mover.CostPerPageNS = costs.MigrationNS
+		}
+	}
+
+	// Capacity the policy may fill: leave the slack out so promotions
+	// never fail on a full tier.
+	capacity := footPages / cfg.Ratio
+	pids := w.Processes()
+
+	buf := make([]trace.Ref, cfg.BatchSize)
+	nextEpoch := cfg.EpochNS
+	executed := 0
+	for executed < cfg.TotalRefs {
+		n := cfg.BatchSize
+		if remain := cfg.TotalRefs - executed; remain < n {
+			n = remain
+		}
+		batch := buf[:n]
+		w.Fill(batch)
+		for i := range batch {
+			o, err := m.Execute(batch[i])
+			if err != nil {
+				return res, fmt.Errorf("sim: executing ref %d: %w", executed+i, err)
+			}
+			if o.Source.IsMemory() {
+				res.MemAccesses++
+				if o.Source == trace.SrcTier1 {
+					res.Tier1Hits++
+				}
+			}
+		}
+		executed += n
+		now := m.Now()
+		if prof != nil {
+			prof.Tick(now)
+		}
+		if em != nil {
+			em.TickIfDue(now)
+		}
+		if now >= nextEpoch {
+			if prof != nil {
+				ep := prof.HarvestEpoch()
+				sel := cfg.Policy.Select(ep, core.EpochStats{}, cfg.Method, capacity)
+				promoted, demoted := mover.ApplySelection(sel, core.RanksOf(ep, cfg.Method))
+				if em != nil && promoted+demoted > 0 {
+					extra := em.ChargeMigration(promoted + demoted)
+					m.Core(0).AdvanceClock(extra)
+					// Newly demoted pages must be re-protected now,
+					// not at the next window.
+					em.Repoison()
+				}
+			} else {
+				m.Phys.ResetEpochAll()
+			}
+			if collapser != nil {
+				// khugepaged cadence: repair a couple of split
+				// chunks per epoch.
+				collapser.Collapse(pids, 2)
+			}
+			// One placement pass per batch even if multiple epoch
+			// boundaries elapsed (migration work advances the clock;
+			// re-running placement on empty harvests would thrash).
+			for nextEpoch <= now {
+				nextEpoch += cfg.EpochNS
+			}
+		}
+	}
+	res.Refs = executed
+	res.DurationNS = m.Now()
+	if mover != nil {
+		res.Promotions = mover.Promotions
+		res.Demotions = mover.Demotions
+	}
+	if em != nil {
+		s := em.Stats()
+		res.EmulInjected = s.InjectedNS
+		res.EmulFaults = s.Faults
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Heatmap bins (time, address) observations into a fixed grid: the
+// renderer behind the paper's Figs. 3 and 4, where the horizontal axis
+// is elapsed time and the vertical axis the physical address space,
+// with each cell's temperature the access count in that interval.
+type Heatmap struct {
+	timeBins, addrBins int
+	tMin, tMax         int64
+	aMin, aMax         uint64
+	cells              []uint64
+}
+
+// NewHeatmap builds a grid over [tMin,tMax) x [aMin,aMax).
+func NewHeatmap(timeBins, addrBins int, tMin, tMax int64, aMin, aMax uint64) *Heatmap {
+	if timeBins <= 0 || addrBins <= 0 {
+		panic("stats: heatmap bins must be positive")
+	}
+	if tMax <= tMin || aMax <= aMin {
+		panic("stats: heatmap ranges must be non-empty")
+	}
+	return &Heatmap{
+		timeBins: timeBins, addrBins: addrBins,
+		tMin: tMin, tMax: tMax, aMin: aMin, aMax: aMax,
+		cells: make([]uint64, timeBins*addrBins),
+	}
+}
+
+// Add records one observation with a weight (sample count).
+func (h *Heatmap) Add(t int64, addr uint64, weight uint64) {
+	if t < h.tMin || t >= h.tMax || addr < h.aMin || addr >= h.aMax {
+		return
+	}
+	tb := int(float64(t-h.tMin) / float64(h.tMax-h.tMin) * float64(h.timeBins))
+	ab := int(float64(addr-h.aMin) / float64(h.aMax-h.aMin) * float64(h.addrBins))
+	if tb >= h.timeBins {
+		tb = h.timeBins - 1
+	}
+	if ab >= h.addrBins {
+		ab = h.addrBins - 1
+	}
+	h.cells[ab*h.timeBins+tb] += weight
+}
+
+// Cell returns the count at (timeBin, addrBin).
+func (h *Heatmap) Cell(tb, ab int) uint64 { return h.cells[ab*h.timeBins+tb] }
+
+// Max returns the hottest cell value.
+func (h *Heatmap) Max() uint64 {
+	var max uint64
+	for _, c := range h.cells {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Nonzero returns the number of touched cells.
+func (h *Heatmap) Nonzero() int {
+	n := 0
+	for _, c := range h.cells {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// shades maps intensity to ASCII temperature.
+var shades = []byte(" .:-=+*#%@")
+
+// Render draws the heatmap as ASCII art, high addresses on top,
+// time flowing left to right — the figure's orientation.
+func (h *Heatmap) Render() string {
+	max := h.Max()
+	var b strings.Builder
+	b.Grow((h.timeBins + 1) * h.addrBins)
+	for ab := h.addrBins - 1; ab >= 0; ab-- {
+		for tb := 0; tb < h.timeBins; tb++ {
+			c := h.Cell(tb, ab)
+			if max == 0 || c == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			idx := int(float64(c) / float64(max) * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			if idx == 0 {
+				idx = 1 // visible floor for any nonzero cell
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV emits "timeBin,addrBin,count" rows for nonzero cells, for
+// plotting outside the terminal.
+func (h *Heatmap) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_bin,addr_bin,count\n")
+	for ab := 0; ab < h.addrBins; ab++ {
+		for tb := 0; tb < h.timeBins; tb++ {
+			if c := h.Cell(tb, ab); c > 0 {
+				fmt.Fprintf(&b, "%d,%d,%d\n", tb, ab, c)
+			}
+		}
+	}
+	return b.String()
+}

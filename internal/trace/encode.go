@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a fixed magic header followed by fixed-width
+// little-endian sample records. The format lets profiling runs be
+// captured once and replayed through the analysis pipeline (heatmaps,
+// CDFs, policies) without re-simulating.
+
+const (
+	traceMagic   = uint32(0x544d5031) // "TMP1"
+	sampleCoding = 8 + 4 + 4 + 8 + 8 + 8 + 1 + 1 + 1 + 8
+)
+
+// ErrBadMagic is returned when a trace stream does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic; not a TMP trace stream")
+
+// Writer serializes samples to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	scratch [sampleCoding]byte
+	count   uint64
+}
+
+// NewWriter writes the stream header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], traceMagic)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one sample record.
+func (tw *Writer) Write(s Sample) error {
+	b := tw.scratch[:]
+	binary.LittleEndian.PutUint64(b[0:], uint64(s.Now))
+	binary.LittleEndian.PutUint32(b[8:], uint32(s.CPU))
+	binary.LittleEndian.PutUint32(b[12:], uint32(s.PID))
+	binary.LittleEndian.PutUint64(b[16:], s.IP)
+	binary.LittleEndian.PutUint64(b[24:], s.VAddr)
+	binary.LittleEndian.PutUint64(b[32:], s.PAddr)
+	b[40] = byte(s.Kind)
+	b[41] = byte(s.Source)
+	if s.TLBMiss {
+		b[42] = 1
+	} else {
+		b[42] = 0
+	}
+	binary.LittleEndian.PutUint64(b[43:], uint64(s.Latency))
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing sample: %w", err)
+	}
+	tw.count++
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Count returns the number of samples written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Reader deserializes samples from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	scratch [sampleCoding]byte
+}
+
+// NewReader validates the stream header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != traceMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next sample, or io.EOF at end of stream.
+func (tr *Reader) Read() (Sample, error) {
+	b := tr.scratch[:]
+	if _, err := io.ReadFull(tr.r, b); err != nil {
+		if err == io.EOF {
+			return Sample{}, io.EOF
+		}
+		return Sample{}, fmt.Errorf("trace: reading sample: %w", err)
+	}
+	s := Sample{
+		Now:     int64(binary.LittleEndian.Uint64(b[0:])),
+		CPU:     int(int32(binary.LittleEndian.Uint32(b[8:]))),
+		PID:     int(int32(binary.LittleEndian.Uint32(b[12:]))),
+		IP:      binary.LittleEndian.Uint64(b[16:]),
+		VAddr:   binary.LittleEndian.Uint64(b[24:]),
+		PAddr:   binary.LittleEndian.Uint64(b[32:]),
+		Kind:    Kind(b[40]),
+		Source:  DataSource(b[41]),
+		TLBMiss: b[42] != 0,
+		Latency: int64(binary.LittleEndian.Uint64(b[43:])),
+	}
+	return s, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (tr *Reader) ReadAll() ([]Sample, error) {
+	var out []Sample
+	for {
+		s, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+}

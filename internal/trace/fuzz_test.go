@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReaderRobustness feeds arbitrary bytes to the trace reader: it
+// must never panic, only return errors or valid samples.
+func FuzzReaderRobustness(f *testing.F) {
+	// Seed with a valid single-sample stream and a few corruptions.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Write(Sample{Now: 1, PID: 2, VAddr: 3, PAddr: 4, Kind: Store, Source: SrcTier2})
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x50, 0x4d, 0x54}) // magic only, wrong order
+	f.Add(append(append([]byte{}, valid...), 0xff, 0xfe))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundtrip checks encode/decode is the identity for arbitrary
+// sample field values.
+func FuzzRoundtrip(f *testing.F) {
+	f.Add(int64(0), 0, 0, uint64(0), uint64(0), uint64(0), uint8(0), uint8(0), false, int64(0))
+	f.Add(int64(-5), 63, 1<<14, ^uint64(0), uint64(1)<<47, uint64(123), uint8(2), uint8(4), true, int64(1)<<40)
+	f.Fuzz(func(t *testing.T, now int64, cpuID, pid int, ip, vaddr, paddr uint64,
+		kind, source uint8, tlbMiss bool, latency int64) {
+		in := Sample{
+			Now:     now,
+			CPU:     int(int32(cpuID)),
+			PID:     int(int32(pid)),
+			IP:      ip,
+			VAddr:   vaddr,
+			PAddr:   paddr,
+			Kind:    Kind(kind),
+			Source:  DataSource(source),
+			TLBMiss: tlbMiss,
+			Latency: latency,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("roundtrip mismatch:\n in %+v\nout %+v", in, out)
+		}
+	})
+}
