@@ -1,0 +1,158 @@
+// Command tmplint runs the repo's static-analysis suite: the
+// determinism and epoch-accounting analyzers in internal/analysis.
+//
+// Usage:
+//
+//	tmplint [-json] [patterns...]
+//
+// Patterns are package directories relative to the current module:
+// "./..." (the default) analyzes every package; "./internal/cpu"
+// analyzes one; a trailing "/..." analyzes a subtree. Findings print
+// as file:line:col: [analyzer] message, and any finding makes the
+// process exit 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tieredmem/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tmplint [-json] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(flag.Args(), *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "tmplint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, jsonOut bool) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load(loader, cwd, patterns)
+	if err != nil {
+		return err
+	}
+	findings := analysis.Run(pkgs, analysis.Analyzers())
+	if jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// load resolves patterns to type-checked packages, deduplicated by
+// import path.
+func load(loader *analysis.Loader, cwd string, patterns []string) ([]*analysis.Package, error) {
+	seen := make(map[string]bool)
+	var out []*analysis.Package
+	add := func(pkgs ...*analysis.Package) {
+		for _, p := range pkgs {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			pkgs, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			add(pkgs...)
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(cwd, strings.TrimSuffix(pat, "/..."))
+			pkgs, err := loadTree(loader, root)
+			if err != nil {
+				return nil, err
+			}
+			if len(pkgs) == 0 {
+				// "..." expansion skips testdata, vendor, and hidden
+				// dirs, same as the go tool; name those dirs directly.
+				return nil, fmt.Errorf("pattern %s matched no packages", pat)
+			}
+			add(pkgs...)
+		default:
+			pkg, err := loader.LoadDir(filepath.Join(cwd, pat))
+			if err != nil {
+				return nil, err
+			}
+			add(pkg)
+		}
+	}
+	return out, nil
+}
+
+// loadTree loads every package under root by filtering a full module
+// load down to the subtree.
+func loadTree(loader *analysis.Loader, root string) ([]*analysis.Package, error) {
+	all, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	for _, p := range all {
+		if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// jsonFinding is the -json output row.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, findings []analysis.Finding) error {
+	rows := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		rows = append(rows, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -67,24 +67,7 @@ func main() {
 		res.NumCores)
 
 	// Hottest pages by the combined rank, summed over epochs.
-	totals := make(map[core.PageKey]*core.PageStat)
-	for _, ep := range res.Epochs {
-		for _, ps := range ep.Pages {
-			t, ok := totals[ps.Key]
-			if !ok {
-				c := ps
-				totals[ps.Key] = &c
-				continue
-			}
-			t.Abit += ps.Abit
-			t.Trace += ps.Trace
-			t.True += ps.True
-		}
-	}
-	all := core.EpochStats{}
-	for _, ps := range totals {
-		all.Pages = append(all.Pages, *ps)
-	}
+	all := core.SumEpochs(res.Epochs)
 	ranked := core.RankedPages(all, core.MethodCombined)
 	tab := report.NewTable(fmt.Sprintf("\nTop %d pages by TMP combined rank", *topN),
 		"pid", "vpn", "abit", "ibs", "rank", "true_mem_accesses")

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in findings and in
+	// suppression directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces and why.
+	Doc string
+	// Run inspects one package and reports findings via the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// report receives findings as they are made.
+	report func(Finding)
+
+	// directives caches per-file suppression-comment positions,
+	// built lazily on first use.
+	directives map[*ast.File]map[int]string
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Types returns the package's type information.
+func (p *Pass) Types() *types.Info { return p.Pkg.Info }
+
+// Path returns the package's import path.
+func (p *Pass) Path() string { return p.Pkg.Path }
+
+// TypeOf returns the type of an expression, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive is the comment prefix that suppresses findings:
+// "//tmplint:ordered" (optionally followed by a justification) on the
+// flagged statement's line or the line directly above it.
+const Directive = "tmplint:ordered"
+
+// Suppressed reports whether a tmplint:ordered directive covers pos:
+// the directive comment sits on the same line as pos or on the line
+// immediately above it, in the same file.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	file := p.fileOf(pos)
+	if file == nil {
+		return false
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int]string)
+	}
+	lines, ok := p.directives[file]
+	if !ok {
+		lines = make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if strings.HasPrefix(text, Directive) {
+					lines[p.Pkg.Fset.Position(c.Pos()).Line] = text
+				}
+			}
+		}
+		p.directives[file] = lines
+	}
+	line := p.Pkg.Fset.Position(pos).Line
+	_, same := lines[line]
+	_, above := lines[line-1]
+	return same || above
+}
+
+// fileOf returns the parsed file containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Finding is one reported problem.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full tmplint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRange,
+		WallClock,
+		EpochAccount,
+		FloatSum,
+		Exhaustive,
+	}
+}
+
+// Run applies analyzers to pkgs and returns all findings sorted by
+// position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(f Finding) { findings = append(findings, f) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].Pos, findings[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation pattern from a `// want `...“ or
+// `// want "..."` comment.
+var wantRe = regexp.MustCompile("// want [`\"](.+)[`\"]")
+
+// expectation is one `// want` comment in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// loadExpectations scans every fixture file for want comments.
+func loadExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+			}
+			out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+		}
+	}
+	return out
+}
+
+// runFixture analyzes one fixture package with one analyzer and
+// checks findings against the want comments: every finding must match
+// an expectation on its exact line, and every expectation must be hit.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	expectations := loadExpectations(t, dir)
+	if len(expectations) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	for _, f := range findings {
+		if f.Analyzer != a.Name {
+			t.Errorf("finding from unexpected analyzer %q: %v", f.Analyzer, f)
+			continue
+		}
+		ok := false
+		for _, exp := range expectations {
+			if exp.matched || f.Pos.Line != exp.line {
+				continue
+			}
+			if sameFile(f.Pos.Filename, exp.file) && exp.pattern.MatchString(f.Message) {
+				exp.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", exp.file, exp.line, exp.pattern)
+		}
+	}
+}
+
+// sameFile compares paths that may differ in absolute/relative form.
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+func TestMapRange(t *testing.T)     { runFixture(t, MapRange) }
+func TestWallClock(t *testing.T)    { runFixture(t, WallClock) }
+func TestEpochAccount(t *testing.T) { runFixture(t, EpochAccount) }
+func TestFloatSum(t *testing.T)     { runFixture(t, FloatSum) }
+func TestExhaustive(t *testing.T)   { runFixture(t, Exhaustive) }
+
+// TestFixturesFailDriver asserts the driver contract on the fixture
+// set as a whole: analyzing the fixtures yields findings (a non-zero
+// tmplint exit), each positioned in its own fixture file.
+func TestFixturesFailDriver(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, a := range Analyzers() {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", a.Name))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", a.Name, err)
+		}
+		findings := Run([]*Package{pkg}, Analyzers())
+		found := false
+		for _, f := range findings {
+			if f.Analyzer != a.Name {
+				continue
+			}
+			found = true
+			if !strings.Contains(f.Pos.Filename, filepath.Join("testdata", "src", a.Name)) {
+				t.Errorf("finding position %s outside fixture dir %s", f.Pos, a.Name)
+			}
+			if f.Pos.Line <= 0 || f.Pos.Column <= 0 {
+				t.Errorf("finding without a real position: %v", f)
+			}
+		}
+		if !found {
+			t.Errorf("fixture %s produced no %s findings", a.Name, a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-check gate: the repo's own tree must be
+// finding-free, so `tmplint ./...` exits 0. Any regression in the
+// determinism contract fails this test before it reaches CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow; run without -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("LoadAll found only %d packages; loader is missing the tree", len(pkgs))
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%v", f)
+	}
+}
+
+// TestSuppressionDirective pins the directive syntax: the named
+// constant is what fixture comments and repo code rely on.
+func TestSuppressionDirective(t *testing.T) {
+	if Directive != "tmplint:ordered" {
+		t.Fatalf("Directive = %q, want tmplint:ordered", Directive)
+	}
+}
+
+// TestFindingString pins the canonical finding rendering the driver
+// prints.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "maprange", Message: "boom"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	got := f.String()
+	want := fmt.Sprintf("x.go:3:7: [maprange] boom")
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+// Package analysis is tmplint's static-analysis framework: a
+// self-contained analyzer harness built only on the standard library's
+// go/parser and go/types (go.mod stays dependency-free), plus the
+// repo-specific analyzers that machine-check the simulator's
+// reproducibility contract — same seed, same workload, same per-page
+// hotness ranks (DESIGN.md §2).
+//
+// # Analyzers
+//
+// maprange — flags `for range` over a map in non-test internal/
+// packages. Go randomizes map iteration order, so an order-sensitive
+// loop body makes rankings, reports, and figures differ between runs
+// of the same seed. A site is exempt when its body is provably
+// order-insensitive (commutative accumulation: x += e, x++, bit-ors,
+// inserts into another map, comparison-guarded min/max tracking,
+// delete), when it only appends to slices that a later statement in
+// the same block sorts, or when it carries a //tmplint:ordered
+// justification. Everything else should iterate
+// order.SortedKeys/order.SortedKeysFunc.
+//
+// wallclock — forbids time.Now, time.Since, and the global math/rand
+// (and math/rand/v2) source in internal/ packages. Simulator time is
+// virtual cycles; randomness must be injected through an explicitly
+// seeded *rand.Rand. Seeded-source constructors (rand.New,
+// rand.NewSource, rand.NewZipf, rand.NewPCG, rand.NewChaCha8) and
+// methods on a *rand.Rand value stay legal.
+//
+// epochaccount — restricts writes to the profiling counters ranks are
+// computed from: core.PageStat's Abit/Trace/Write/True and
+// mem.PageDescriptor's *Epoch/*Total fields. Only the sanctioned
+// accumulation paths may write them — internal/abit (A-bit scan),
+// internal/core (trace drain, harvest, SumEpochs/AttachTruth),
+// internal/cpu (ground truth), internal/mem (allocation, reset,
+// rollover), internal/pml (write log), internal/policy (migration
+// transfer). Code elsewhere must aggregate through core.SumEpochs or
+// core.AttachTruth instead of open-coding counter writes.
+//
+// floatsum — flags floating-point accumulation (+=, -=, x = x + e,
+// ...) into a variable declared outside a map-range body. Float
+// addition does not associate, so map-ordered summation makes the low
+// bits of report output vary run to run. Accumulate over
+// order.SortedKeys, or suppress with //tmplint:ordered when sub-ulp
+// jitter is genuinely acceptable.
+//
+// exhaustive — flags switch statements over repo enum types (a
+// defined integer or string type with at least two package-level
+// constants, e.g. core.Method, mem.TierID) that miss enumerators and
+// have no default case. Switches with a default, full coverage, or
+// non-constant case expressions are exempt.
+//
+// # Suppression
+//
+// A finding from maprange or floatsum is suppressed by a comment
+// beginning //tmplint:ordered on the flagged statement's line or the
+// line directly above it. Follow the directive with a justification:
+//
+//	//tmplint:ordered feeds a set; iteration order cannot escape
+//	for k := range pages { ... }
+//
+// wallclock, epochaccount, and exhaustive findings are deliberately
+// not suppressible — fix the code or extend the sanctioned lists here.
+//
+// # Adding an analyzer
+//
+// Create a file in this package defining a var of type *Analyzer with
+// a Name (also its fixture directory name and finding tag), a Doc
+// line, and a Run func inspecting one type-checked *Pass. Register it
+// in Analyzers() in analysis.go. Add a fixture package under
+// testdata/src/<name>/ whose flagged lines carry `// want "regex"`
+// comments, and a one-line runFixture test in analysis_test.go; the
+// harness checks positions and messages both ways (no unexpected
+// findings, no unmatched expectations). TestRepoIsClean then enforces
+// the new analyzer repo-wide.
+//
+// # Driver
+//
+// cmd/tmplint loads packages through Loader (a go/parser + go/types
+// loader that resolves module-internal imports itself and delegates
+// the standard library to the source importer), runs Analyzers(), and
+// prints file:line:col findings (-json for machine-readable output),
+// exiting 1 when anything is found. scripts/check.sh wires it into
+// the repo gate next to go vet, gofmt, and go test -race.
+package analysis

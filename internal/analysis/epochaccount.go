@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochAccount protects the per-epoch observation counters that
+// hotness ranks are computed from. Writes to core.PageStat's
+// Abit/Trace/Write/True fields and to mem.PageDescriptor's epoch/total
+// counters are legal only inside the sanctioned accumulation paths —
+// the profiler arms (abit scan, trace drain in core, PML drain, the
+// machine's ground-truth charge in cpu), the mem package's own
+// allocation/reset/rollover bookkeeping, and the policy package's
+// migration counter transfer. Anywhere else, a counter write is rank
+// corruption: evidence the profiler never collected.
+var EpochAccount = &Analyzer{
+	Name: "epochaccount",
+	Doc:  "restricts PageStat/PageDescriptor counter writes to sanctioned accumulation paths",
+	Run:  runEpochAccount,
+}
+
+// epochProtectedFields maps protected struct type names to their
+// protected field sets.
+var epochProtectedFields = map[string]map[string]bool{
+	"PageStat": {
+		"Abit": true, "Trace": true, "Write": true, "True": true,
+	},
+	"PageDescriptor": {
+		"AbitEpoch": true, "TraceEpoch": true, "WriteEpoch": true, "TrueEpoch": true,
+		"AbitTotal": true, "TraceTotal": true, "WriteTotal": true, "TrueTotal": true,
+	},
+}
+
+// epochSanctionedPaths are the import-path suffixes allowed to write
+// the protected counters.
+var epochSanctionedPaths = []string{
+	"internal/abit",   // A-bit scan accumulation
+	"internal/core",   // trace-sample drain + harvest snapshot
+	"internal/cpu",    // ground-truth charge per executed reference
+	"internal/mem",    // descriptor allocation, epoch reset, rollover
+	"internal/pml",    // write-log drain
+	"internal/policy", // migration moves counters with the page
+}
+
+func runEpochAccount(pass *Pass) {
+	for _, suffix := range epochSanctionedPaths {
+		if strings.HasSuffix(pass.Path(), suffix) {
+			return
+		}
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkEpochWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkEpochWrite(pass, st.X)
+			case *ast.UnaryExpr:
+				// &pd.TraceEpoch escapes the counter for arbitrary
+				// later writes.
+				if st.Op.String() == "&" {
+					checkEpochWrite(pass, st.X)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkEpochWrite reports when expr writes a protected counter field.
+func checkEpochWrite(pass *Pass, expr ast.Expr) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Types().Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	fields, ok := epochProtectedFields[named.Obj().Name()]
+	if !ok || !fields[sel.Sel.Name] {
+		return
+	}
+	pass.Reportf(sel.Pos(), "write to %s.%s outside sanctioned accumulation paths: epoch counters may only be produced by the profiler arms (abit/core/cpu/mem/pml/policy)", named.Obj().Name(), sel.Sel.Name)
+}

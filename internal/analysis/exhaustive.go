@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Exhaustive flags switch statements over repo enum types (named
+// integer or string types with at least two package-level constants,
+// such as core.Method and mem.TierID) that neither cover every
+// enumerator nor declare a default case. A silently-skipped enum value
+// is how a new profiling method or tier ships with zeroed results.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "flags non-exhaustive switches over repo enum types without a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkExhaustive(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt) {
+	named := enumType(pass.TypeOf(sw.Tag))
+	if named == nil {
+		return
+	}
+	enumerators := enumConstants(named)
+	if len(enumerators) < 2 {
+		return
+	}
+	covered := make(map[string]bool, len(enumerators))
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default case present: the switch is total
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Types().Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, c := range enumerators {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	qual := func(p *types.Package) string { return p.Name() }
+	pass.Reportf(sw.Pos(), "switch over %s misses cases %s and has no default",
+		types.TypeString(named, qual), strings.Join(missing, ", "))
+}
+
+// enumType returns t as a named enum candidate: a defined type whose
+// underlying type is an integer or string basic type.
+func enumType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	if b.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	return named
+}
+
+// enumConstants lists the package-level constants declared with the
+// named type, in scope (alphabetical) order. Constants sharing a value
+// (aliases) are deduplicated by value at coverage time, not here.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) && c.Val().Kind() != constant.Unknown {
+			out = append(out, c)
+		}
+	}
+	return out
+}

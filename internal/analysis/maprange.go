@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `for range` over a map in non-test internal/ code.
+// Go randomizes map iteration order, so any map range whose effect is
+// order-sensitive breaks the simulator's same-seed-same-output
+// contract. A site is exempt when:
+//
+//   - its body is order-insensitive: only commutative accumulation
+//     (x += e, x++, bit-ors, inserts into another map, min/max
+//     tracking guarded by a comparison), or
+//   - it drains through a sort: the body only appends keys/values to
+//     slices that a later statement in the same block sorts, or
+//   - it carries a //tmplint:ordered justification comment on the
+//     range statement's line or the line above.
+//
+// Everything else should iterate via order.SortedKeys /
+// order.SortedKeysFunc instead.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags order-sensitive `for range` over maps in internal/ packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !strings.Contains(pass.Path(), "internal/") {
+		return
+	}
+	for _, file := range pass.Files() {
+		inspectStmtLists(file, func(list []ast.Stmt, i int) {
+			rs, ok := unwrapLabel(list[i]).(*ast.RangeStmt)
+			if !ok || mapTypeOf(pass, rs.X) == nil {
+				return
+			}
+			if pass.Suppressed(rs.Pos()) {
+				return
+			}
+			chk := &bodyChecker{pass: pass, body: rs.Body}
+			chk.checkStmts(rs.Body.List)
+			if chk.bad {
+				pass.Reportf(rs.Pos(), "order-sensitive iteration over map %s; iterate order.SortedKeys (or add //tmplint:ordered with a justification)", types.ExprString(rs.X))
+				return
+			}
+			if !chk.drained(list[i+1:]) {
+				pass.Reportf(rs.Pos(), "map range over %s appends to a slice that is never sorted in this block; sort it or iterate order.SortedKeys", types.ExprString(rs.X))
+			}
+		})
+	}
+}
+
+// inspectStmtLists visits every statement list in the file (blocks and
+// switch/select clause bodies) and calls fn for each position, giving
+// analyzers access to a statement's later siblings.
+func inspectStmtLists(file *ast.File, fn func(list []ast.Stmt, i int)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		}
+		for i := range list {
+			fn(list, i)
+		}
+		return true
+	})
+}
+
+// unwrapLabel strips a label from a labeled statement.
+func unwrapLabel(s ast.Stmt) ast.Stmt {
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = ls.Stmt
+	}
+}
+
+// mapTypeOf returns the expression's underlying map type, or nil.
+func mapTypeOf(pass *Pass, e ast.Expr) *types.Map {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	m, _ := t.Underlying().(*types.Map)
+	return m
+}
+
+// bodyChecker classifies a range body as order-insensitive. Statements
+// that are commutative (order of execution cannot change the final
+// state) are fine; appends to identifiers are recorded as drains that
+// must be sorted later; anything else marks the body bad.
+type bodyChecker struct {
+	pass *Pass
+	body *ast.BlockStmt
+	// drains are objects appended to in the body that need a
+	// later sort to become order-insensitive.
+	drains []types.Object
+	bad    bool
+}
+
+func (c *bodyChecker) checkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.checkStmt(unwrapLabel(s), false)
+	}
+}
+
+// checkStmt validates one statement. inComparisonIf relaxes plain
+// assignments for the min/max tracking pattern.
+func (c *bodyChecker) checkStmt(s ast.Stmt, inComparisonIf bool) {
+	switch st := s.(type) {
+	case nil, *ast.EmptyStmt, *ast.DeclStmt:
+	case *ast.BranchStmt:
+		// continue cannot change the final state of a commutative
+		// body; break/goto make the visited subset order-dependent.
+		if st.Tok != token.CONTINUE {
+			c.bad = true
+		}
+	case *ast.IncDecStmt:
+		// x++ / x-- commute.
+	case *ast.AssignStmt:
+		c.checkAssign(st, inComparisonIf)
+	case *ast.ExprStmt:
+		if !isDeleteCall(c.pass, st.X) {
+			c.bad = true
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.checkStmt(st.Init, false)
+		}
+		cmp := isComparison(st.Cond)
+		for _, b := range st.Body.List {
+			c.checkStmt(unwrapLabel(b), cmp || inComparisonIf)
+		}
+		if st.Else != nil {
+			c.checkStmt(unwrapLabel(st.Else), cmp || inComparisonIf)
+		}
+	case *ast.BlockStmt:
+		c.checkStmts(st.List)
+	case *ast.RangeStmt, *ast.ForStmt:
+		// A nested loop is order-insensitive iff its body is.
+		var body *ast.BlockStmt
+		if rs, ok := st.(*ast.RangeStmt); ok {
+			body = rs.Body
+		} else {
+			body = st.(*ast.ForStmt).Body
+		}
+		c.checkStmts(body.List)
+	case *ast.SwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					c.checkStmt(unwrapLabel(b), inComparisonIf)
+				}
+			}
+		}
+	default:
+		c.bad = true
+	}
+}
+
+// checkAssign validates one assignment inside the body.
+func (c *bodyChecker) checkAssign(st *ast.AssignStmt, inComparisonIf bool) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.MUL_ASSIGN:
+		// Commutative (and associative) accumulation. Float rounding
+		// order is floatsum's concern, not maprange's.
+		return
+	case token.DEFINE:
+		// New per-iteration locals.
+		return
+	case token.ASSIGN:
+	default:
+		// Shifts, division, modulo: order-dependent.
+		c.bad = true
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if c.assignOK(lhs, rhsFor(st, i), inComparisonIf) {
+			continue
+		}
+		c.bad = true
+		return
+	}
+}
+
+// rhsFor pairs an LHS index with its RHS expression when the
+// assignment is 1:1; multi-value RHS returns nil.
+func rhsFor(st *ast.AssignStmt, i int) ast.Expr {
+	if len(st.Lhs) == len(st.Rhs) {
+		return st.Rhs[i]
+	}
+	return nil
+}
+
+// assignOK reports whether one plain `lhs = rhs` is order-insensitive.
+func (c *bodyChecker) assignOK(lhs, rhs ast.Expr, inComparisonIf bool) bool {
+	// Insert into a map: one write per distinct key commutes.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if mapTypeOf(c.pass, idx.X) != nil {
+			return true
+		}
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		// Writes to body-local variables never survive an iteration.
+		if obj := c.pass.Types().ObjectOf(id); obj != nil &&
+			c.body.Pos() <= obj.Pos() && obj.Pos() < c.body.End() {
+			return true
+		}
+		// s = append(s, ...) is a drain candidate: order-insensitive
+		// once a later statement sorts s.
+		if target, ok := appendTarget(rhs); ok && target == id.Name {
+			if obj := c.pass.Types().ObjectOf(id); obj != nil {
+				c.drains = append(c.drains, obj)
+				return true
+			}
+		}
+		// Min/max tracking: `if v > best { best = v }`.
+		if inComparisonIf {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget returns the name of the slice being appended to when
+// rhs has the form append(x, ...), with x an identifier.
+func appendTarget(rhs ast.Expr) (string, bool) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return "", false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// drained reports whether every recorded drain target is sorted by a
+// later sibling statement (a sort.* or slices.* call taking the
+// drained slice as its first argument).
+func (c *bodyChecker) drained(later []ast.Stmt) bool {
+	for _, obj := range c.drains {
+		if !sortedLater(c.pass, obj, later) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLater scans the statements after the range for a sort of obj.
+func sortedLater(pass *Pass, obj types.Object, later []ast.Stmt) bool {
+	for _, s := range later {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Types().ObjectOf(pkgID).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			if !isSortFuncName(sel.Sel.Name) {
+				return true
+			}
+			if arg, ok := call.Args[0].(*ast.Ident); ok &&
+				pass.Types().ObjectOf(arg) == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortFuncName recognizes the sorting entry points of the sort and
+// slices packages (Sort, Stable, Slice, SliceStable, Strings, Ints,
+// Float64s, SortFunc, SortStableFunc, ...).
+func isSortFuncName(name string) bool {
+	switch name {
+	case "Stable", "Strings", "Ints", "Float64s":
+		return true
+	default:
+		return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Slice")
+	}
+}
+
+// isComparison reports whether e is an ordering comparison.
+func isComparison(e ast.Expr) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	default:
+		return false
+	}
+}
+
+// isDeleteCall reports whether e is a call to the builtin delete.
+func isDeleteCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	_, isBuiltin := pass.Types().ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

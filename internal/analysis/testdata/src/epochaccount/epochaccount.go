@@ -1,0 +1,45 @@
+// Package fixture exercises the epochaccount analyzer. The struct
+// names shadow the real core.PageStat and mem.PageDescriptor; this
+// package's import path is not a sanctioned accumulation path, so
+// every counter write below is a finding.
+package fixture
+
+// PageStat mirrors core.PageStat's counter fields.
+type PageStat struct {
+	Abit  uint32
+	Trace uint32
+	Write uint32
+	True  uint32
+	Other int
+}
+
+// PageDescriptor mirrors mem.PageDescriptor's counter fields.
+type PageDescriptor struct {
+	AbitEpoch  uint32
+	TraceEpoch uint32
+	AbitTotal  uint64
+	Flags      uint8
+}
+
+func directWrites(ps *PageStat) {
+	ps.Abit = 3           // want `write to PageStat.Abit outside sanctioned`
+	ps.Trace++            // want `write to PageStat.Trace outside sanctioned`
+	ps.Write += 1         // want `write to PageStat.Write outside sanctioned`
+	ps.True = ps.True + 1 // want `write to PageStat.True outside sanctioned`
+	ps.Other = 7          // ok: not a protected counter
+}
+
+func descriptorWrites(pd *PageDescriptor) {
+	pd.AbitEpoch++    // want `write to PageDescriptor.AbitEpoch outside sanctioned`
+	pd.TraceEpoch = 0 // want `write to PageDescriptor.TraceEpoch outside sanctioned`
+	pd.AbitTotal += 2 // want `write to PageDescriptor.AbitTotal outside sanctioned`
+	pd.Flags |= 1     // ok: not a protected counter
+}
+
+func escapeHatch(pd *PageDescriptor) *uint32 {
+	return &pd.TraceEpoch // want `write to PageDescriptor.TraceEpoch outside sanctioned`
+}
+
+func readsOK(ps *PageStat, pd *PageDescriptor) uint64 {
+	return uint64(ps.Abit) + uint64(ps.Trace) + uint64(pd.AbitEpoch) // ok: reads never corrupt ranks
+}

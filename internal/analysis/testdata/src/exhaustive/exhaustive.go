@@ -1,0 +1,73 @@
+// Package fixture exercises the exhaustive analyzer.
+package fixture
+
+// Tier is an enum: a defined integer type with package-level
+// constants.
+type Tier int
+
+const (
+	Fast Tier = iota
+	Slow
+	Remote
+)
+
+// Mode is a string-valued enum.
+type Mode string
+
+const (
+	ModeScan  Mode = "scan"
+	ModeTrace Mode = "trace"
+)
+
+func missingCase(t Tier) string {
+	switch t { // want `switch over fixture.Tier misses cases Remote and has no default`
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	}
+	return ""
+}
+
+func missingTwo(m Mode) int {
+	switch m { // want `switch over fixture.Mode misses cases ModeScan, ModeTrace and has no default`
+	}
+	return 0
+}
+
+func coveredOK(t Tier) string {
+	switch t { // ok: every enumerator covered
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	case Remote:
+		return "remote"
+	}
+	return ""
+}
+
+func defaultOK(t Tier) string {
+	switch t { // ok: default makes the switch total
+	case Fast:
+		return "fast"
+	default:
+		return "other"
+	}
+}
+
+func nonEnumOK(n int) string {
+	switch n { // ok: plain int is not an enum
+	case 1:
+		return "one"
+	}
+	return ""
+}
+
+func nonConstantOK(t, other Tier) string {
+	switch t { // ok: non-constant case defeats coverage reasoning
+	case other:
+		return "same"
+	}
+	return ""
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the floatsum analyzer.
+package fixture
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // the range itself also trips maprange; floatsum anchors on the assignment
+		total += v // want `float accumulation into total over map iteration`
+	}
+	return total
+}
+
+func floatRecompute(m map[string]float64) float64 {
+	mean := 0.0
+	for _, v := range m {
+		mean = mean + v // want `float accumulation into mean over map iteration`
+	}
+	return mean
+}
+
+func intAccumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m { // ok: integer addition commutes exactly
+		total += v
+	}
+	return total
+}
+
+func localFloatOK(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m { // ok for floatsum: accumulator is body-local (maprange still governs the loop)
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out = append(out, local)
+	}
+	return out
+}
+
+func suppressedAccum(m map[string]float64) float64 {
+	var total float64
+	//tmplint:ordered estimate only; sub-ulp jitter acceptable here
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+// Package fixture exercises the maprange analyzer.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func orderSensitivePrint(m map[string]int) {
+	for k, v := range m { // want `order-sensitive iteration over map m`
+		fmt.Println(k, v)
+	}
+}
+
+func appendNeverSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to a slice that is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+func appendThenSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: drains through sort.Strings below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: drains through sort.Slice below
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func commutativeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // ok: integer accumulation commutes
+		total += v
+	}
+	return total
+}
+
+func counterIncrement(m map[string]bool) int {
+	n := 0
+	for _, v := range m { // ok: conditional count commutes
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func maxTracking(m map[string]int) int {
+	best := 0
+	for _, v := range m { // ok: max tracking guarded by a comparison
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func mapInsert(m map[string]int) map[string]int {
+	copied := make(map[string]int, len(m))
+	for k, v := range m { // ok: insert into another map commutes per key
+		copied[k] = v
+	}
+	return copied
+}
+
+func suppressed(m map[string]int) {
+	//tmplint:ordered output feeds a set, order irrelevant here
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func orderSensitiveAssign(m map[string]int) string {
+	last := ""
+	for k := range m { // want `order-sensitive iteration over map m`
+		last = k
+	}
+	return last
+}
+
+func deleteEntries(m map[string]int) {
+	for k, v := range m { // ok: delete commutes
+		if v > 0 {
+			delete(m, k)
+		}
+	}
+}

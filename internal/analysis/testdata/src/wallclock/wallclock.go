@@ -1,0 +1,34 @@
+// Package fixture exercises the wallclock analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallTime() int64 {
+	t := time.Now()             // want `time.Now in internal/ code`
+	return int64(time.Since(t)) // want `time.Since in internal/ code`
+}
+
+func virtualTimeOK(nowNS int64) int64 {
+	// Arithmetic on virtual timestamps and duration constants is fine.
+	return nowNS + int64(5*time.Millisecond)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn in internal/ code`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global rand.Shuffle in internal/ code`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicit seeded source
+	z := rand.NewZipf(r, 1.2, 1, 1<<20) // ok: seeded generator constructor
+	_ = z.Uint64()
+	return r.Intn(10) // ok: method on a seeded *rand.Rand
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClock forbids wall-clock time and process-global randomness in
+// internal/ packages. All simulator time is virtual cycles and all
+// randomness must flow from an explicitly seeded *rand.Rand, or the
+// same seed stops producing the same per-page hotness ranks. Flags
+// time.Now, time.Since, and math/rand (or math/rand/v2) package-level
+// functions that draw from the global source; constructors that build
+// seeded sources (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG,
+// rand.NewChaCha8) stay legal.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/time.Since and global math/rand in internal/ packages",
+	Run:  runWallClock,
+}
+
+// wallClockAllowedRand lists math/rand package-level functions that do
+// not touch the global source.
+var wallClockAllowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runWallClock(pass *Pass) {
+	if !strings.Contains(pass.Path(), "internal/") {
+		return
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only package-qualified references: r.Intn on a seeded
+			// *rand.Rand also resolves to a math/rand object, but its
+			// receiver is not a package name.
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Types().ObjectOf(pkgID).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			obj := pass.Types().ObjectOf(sel.Sel)
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "time":
+				if name == "Now" || name == "Since" {
+					pass.Reportf(sel.Pos(), "time.%s in internal/ code: simulator time must be virtual cycles, not wall clock", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallClockAllowedRand[name] {
+					pass.Reportf(sel.Pos(), "global rand.%s in internal/ code: randomness must come from an explicitly seeded *rand.Rand", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 	"tieredmem/internal/pagetable"
 	"tieredmem/internal/trace"
 )
@@ -172,10 +173,10 @@ func (s *Scanner) Pass(pids []int) int64 {
 // the policy machinery can rank on it), and resets the accumulator.
 func (s *Scanner) HarvestEpoch(epoch int) core.EpochStats {
 	stats := core.EpochStats{Epoch: epoch}
-	for key, n := range s.counts {
+	for _, key := range order.SortedKeysFunc(s.counts, core.PageKeyLess) {
 		stats.Pages = append(stats.Pages, core.PageStat{
 			Key:  key,
-			Abit: n,
+			Abit: s.counts[key],
 		})
 	}
 	s.counts = make(map[core.PageKey]uint32)

@@ -22,6 +22,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 	"tieredmem/internal/pagetable"
 	"tieredmem/internal/trace"
 )
@@ -136,8 +137,8 @@ func (p *Profiler) Untrack(pids []int) {
 // accumulator.
 func (p *Profiler) HarvestEpoch(epoch int) core.EpochStats {
 	stats := core.EpochStats{Epoch: epoch}
-	for key, n := range p.counts {
-		stats.Pages = append(stats.Pages, core.PageStat{Key: key, Abit: n})
+	for _, key := range order.SortedKeysFunc(p.counts, core.PageKeyLess) {
+		stats.Pages = append(stats.Pages, core.PageStat{Key: key, Abit: p.counts[key]})
 	}
 	p.counts = make(map[core.PageKey]uint32)
 	return stats
@@ -147,8 +148,8 @@ func (p *Profiler) HarvestEpoch(epoch int) core.EpochStats {
 // the Thermostat threshold.
 func (p *Profiler) HotPages() []core.PageKey {
 	var out []core.PageKey
-	for key, n := range p.counts {
-		if n >= p.cfg.HotThreshold {
+	for _, key := range order.SortedKeysFunc(p.counts, core.PageKeyLess) {
+		if p.counts[key] >= p.cfg.HotThreshold {
 			out = append(out, key)
 		}
 	}

@@ -76,26 +76,8 @@ func rebucket(base []core.EpochStats, div int) []core.EpochStats {
 		if end > len(base) {
 			end = len(base)
 		}
-		merged := core.EpochStats{Epoch: len(out)}
-		acc := make(map[core.PageKey]*core.PageStat)
-		for _, ep := range base[start:end] {
-			for _, ps := range ep.Pages {
-				t, ok := acc[ps.Key]
-				if !ok {
-					c := ps
-					acc[ps.Key] = &c
-					continue
-				}
-				t.Abit += ps.Abit
-				t.Trace += ps.Trace
-				t.Write += ps.Write
-				t.True += ps.True
-				t.Tier = ps.Tier // last placement wins
-			}
-		}
-		for _, ps := range acc {
-			merged.Pages = append(merged.Pages, *ps)
-		}
+		merged := core.SumEpochs(base[start:end])
+		merged.Epoch = len(out)
 		out = append(out, merged)
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 	"tieredmem/internal/report"
 	"tieredmem/internal/stats"
 )
@@ -132,9 +133,9 @@ func recall(actual, predicted map[core.PageKey]struct{}) float64 {
 func seriesFromCounts(workload, method string, counts map[core.PageKey]uint64) Fig5Series {
 	var cdf stats.CDF
 	samples := make([]uint64, 0, len(counts))
-	for _, c := range counts {
-		cdf.Add(c)
-		samples = append(samples, c)
+	for _, key := range order.SortedKeysFunc(counts, core.PageKeyLess) {
+		cdf.Add(counts[key])
+		samples = append(samples, counts[key])
 	}
 	return Fig5Series{
 		Workload: workload,

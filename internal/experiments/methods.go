@@ -8,7 +8,6 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/ibs"
-	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/report"
 	"tieredmem/internal/sim"
@@ -137,7 +136,7 @@ func rawRun(opts Options, name string, attach func(*cpu.Machine, workload.Worklo
 	var res rawResult
 	cutEpoch := func() {
 		ep := harvest(len(res.epochs))
-		attachTruth(m, &ep)
+		core.AttachTruth(m.Phys, &ep)
 		res.epochs = append(res.epochs, ep)
 		m.Phys.ResetEpochAll()
 	}
@@ -180,32 +179,6 @@ func rawRun(opts Options, name string, attach func(*cpu.Machine, workload.Worklo
 	res.MethodsRow.Workload = name
 	res.durationNS = m.Now()
 	return res, nil
-}
-
-// attachTruth merges the machine's per-page ground truth into a
-// harvest: observed pages get their True counts, and memory-accessed
-// pages the profiler missed are appended (hitrate denominators need
-// them).
-func attachTruth(m *cpu.Machine, ep *core.EpochStats) {
-	idx := make(map[core.PageKey]int, len(ep.Pages))
-	for i := range ep.Pages {
-		idx[ep.Pages[i].Key] = i
-	}
-	m.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
-		key := core.PageKey{PID: pd.PID, VPN: pd.VPage}
-		if i, ok := idx[key]; ok {
-			ep.Pages[i].True = pd.TrueEpoch
-			ep.Pages[i].Tier = pd.Tier
-			return
-		}
-		if pd.TrueEpoch > 0 {
-			ep.Pages = append(ep.Pages, core.PageStat{
-				Key:  key,
-				Tier: pd.Tier,
-				True: pd.TrueEpoch,
-			})
-		}
-	})
 }
 
 func runAutonuma(opts Options, name string) (rawResult, error) {

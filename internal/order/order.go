@@ -1,0 +1,49 @@
+// Package order provides deterministic map-iteration helpers. Go map
+// iteration order is deliberately randomized, so any loop whose effect
+// depends on visit order — building a report row list, accumulating
+// floats, picking migration victims — is a latent nondeterminism bug
+// that breaks the simulator's same-seed-same-output contract
+// (DESIGN.md §2). Routing iteration through SortedKeys (or the Func
+// variants) pins a total order and is the sanctioned fix for findings
+// from the tmplint maprange and floatsum analyzers.
+package order
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. The returned slice
+// is freshly allocated; an empty or nil map yields an empty slice.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //tmplint:ordered key collection is sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedKeysFunc returns m's keys ordered by less, for key types that
+// are not cmp.Ordered (structs such as core.PageKey). less must define
+// a strict weak order that distinguishes all keys, or the result is
+// not fully deterministic.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //tmplint:ordered key collection is sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}
+
+// Sum returns the sum of m's values in ascending key order. For
+// floating-point V this makes rounding deterministic across runs;
+// prefer it over open-coded accumulation inside a map range.
+func Sum[M ~map[K]V, K cmp.Ordered, V cmp.Ordered](m M) V {
+	var total V
+	for _, k := range SortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}

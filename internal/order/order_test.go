@@ -1,0 +1,51 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 2, "a": 1, "c": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[int]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type key struct{ pid, vpn int }
+	m := map[key]int{
+		{2, 1}: 0, {1, 9}: 0, {1, 2}: 0,
+	}
+	got := SortedKeysFunc(m, func(a, b key) bool {
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.vpn < b.vpn
+	})
+	want := []key{{1, 2}, {1, 9}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}
+
+func TestSumDeterministic(t *testing.T) {
+	m := map[int]float64{}
+	for i := 0; i < 200; i++ {
+		m[i] = 1.0 / float64(i+3)
+	}
+	first := Sum(m)
+	for i := 0; i < 50; i++ {
+		if s := Sum(m); s != first {
+			t.Fatalf("Sum varied across runs: %v != %v", s, first)
+		}
+	}
+	if intSum := Sum(map[string]int{"a": 1, "b": 2}); intSum != 3 {
+		t.Fatalf("Sum = %d, want 3", intSum)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/order"
 )
 
 // Selection is the set of pages a policy placed in tier 1 for an
@@ -147,7 +148,7 @@ func (d *Decay) Select(prev, next core.EpochStats, method core.Method, capacity 
 		seen[ps.Key] = struct{}{}
 		d.scores[ps.Key] = d.scores[ps.Key]*(1-d.Alpha) + float64(ps.Rank(method))*d.Alpha
 	}
-	for k := range d.scores {
+	for _, k := range order.SortedKeysFunc(d.scores, core.PageKeyLess) {
 		if _, ok := seen[k]; !ok {
 			d.scores[k] *= 1 - d.Alpha
 			if d.scores[k] < 1e-6 {
@@ -160,8 +161,8 @@ func (d *Decay) Select(prev, next core.EpochStats, method core.Method, capacity 
 		v float64
 	}
 	ranked := make([]kv, 0, len(d.scores))
-	for k, v := range d.scores {
-		if v > 0 {
+	for _, k := range order.SortedKeysFunc(d.scores, core.PageKeyLess) {
+		if v := d.scores[k]; v > 0 {
 			ranked = append(ranked, kv{k, v})
 		}
 	}

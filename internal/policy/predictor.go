@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/order"
 )
 
 // Predictor is a Kleio-inspired extension policy ([38] in the paper:
@@ -69,7 +70,8 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 		st.shortTerm = r
 	}
 	// Pages absent this epoch decay and lose trust.
-	for key, st := range p.state {
+	for _, key := range order.SortedKeysFunc(p.state, core.PageKeyLess) {
+		st := p.state[key]
 		if _, ok := seen[key]; ok {
 			continue
 		}
@@ -88,7 +90,8 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 		score float64
 	}
 	ranked := make([]scored, 0, len(p.state))
-	for key, st := range p.state {
+	for _, key := range order.SortedKeysFunc(p.state, core.PageKeyLess) {
+		st := p.state[key]
 		w := float64(st.confidence) / float64(maxConf)
 		// Low-confidence observations are discounted: an erratic
 		// page's latest spike contributes a quarter of its face

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# check.sh — the repo gate: build, vet, format, tmplint, race tests.
+# Every PR must pass this; CI runs it on push and pull_request.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l . | grep -v '^testdata/' | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> tmplint ./..."
+go run ./cmd/tmplint ./...
+
+echo "==> go test -race ./..."
+# The race detector slows the simulator-heavy packages ~10x; the
+# experiments suite alone can exceed go test's default 10m per-package
+# timeout, so give the binaries room.
+go test -race -timeout 40m ./...
+
+echo "All checks passed."
