@@ -17,6 +17,11 @@
 //
 //	tmpbench -out results                 # everything (several minutes)
 //	tmpbench -exp fig6 -workloads gups    # one experiment, one workload
+//	tmpbench -parallel 1                  # sequential cells (same bytes, slower)
+//
+// Independent experiment cells fan out on a bounded worker pool
+// (-parallel, default GOMAXPROCS); results reassemble in submission
+// order, so the emitted files are byte-identical at any width.
 package main
 
 import (
@@ -24,10 +29,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"tieredmem/internal/experiments"
 	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
 )
 
 func main() {
@@ -40,6 +48,8 @@ func main() {
 		period    = flag.Int("period", 16384, "base (default-rate) IBS op period")
 		gating    = flag.Bool("gating", true, "enable HWPC gating")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all eight)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for independent experiment cells (1 = sequential; output is byte-identical at any setting)")
+		stats     = flag.Bool("stats", true, "print per-experiment worker-pool stats to stderr")
 	)
 	flag.Parse()
 
@@ -49,9 +59,34 @@ func main() {
 		Refs:       *refs,
 		BasePeriod: *period,
 		Gating:     *gating,
+		Parallel:   *parallel,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	// internal/ packages keep the virtual-time discipline (no wall
+	// clock under tmplint); main injects the monotonic clock the
+	// runner's stats need.
+	epoch := time.Now()
+	opts.NowNS = func() int64 { return int64(time.Since(epoch)) }
+	if *stats {
+		opts.OnRunnerStats = func(experiment string, s runner.Stats) {
+			if s.Jobs == 0 {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "tmpbench: %s: %d cells on %d workers: wall=%s busy=%s maxqueue=%s speedup=%.2fx\n",
+				experiment, s.Jobs, s.Workers,
+				time.Duration(s.WallNS).Round(time.Millisecond),
+				time.Duration(s.BusyNS).Round(time.Millisecond),
+				time.Duration(maxQueueNS(s)).Round(time.Millisecond),
+				s.Speedup())
+			for _, js := range s.PerJob {
+				fmt.Fprintf(os.Stderr, "tmpbench:   %-40s worker=%d queue=%-10s wall=%s\n",
+					js.Name, js.Worker,
+					time.Duration(js.QueueNS).Round(time.Millisecond),
+					time.Duration(js.WallNS).Round(time.Millisecond))
+			}
+		}
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -89,6 +124,17 @@ func main() {
 	if err := run(); err != nil {
 		fatal(err)
 	}
+}
+
+// maxQueueNS is the longest any cell waited for a worker.
+func maxQueueNS(s runner.Stats) int64 {
+	var m int64
+	for _, js := range s.PerJob {
+		if js.QueueNS > m {
+			m = js.QueueNS
+		}
+	}
+	return m
 }
 
 func writeFile(dir, name, content string) error {

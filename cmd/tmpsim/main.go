@@ -8,31 +8,39 @@
 //
 //	tmpsim -workload data-caching -ratio 16 -policy history -method tmp
 //	tmpsim -workload phase-shift -ratio 8 -emul
+//
+// The two arms are independent simulations and run concurrently on a
+// bounded worker pool (-parallel, default GOMAXPROCS; 1 restores the
+// sequential path). Output is identical at any width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/emul"
 	"tieredmem/internal/policy"
+	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/workload"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "data-caching", "workload name (Table III or phase-shift)")
-		refs    = flag.Int("refs", 6_000_000, "memory references to execute")
-		ratio   = flag.Int("ratio", 16, "footprint:fast-tier capacity ratio")
-		polName = flag.String("policy", "history", "placement policy: history, decay, none (baseline only)")
-		method  = flag.String("method", "tmp", "profiling evidence: abit, ibs, tmp")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		scale   = flag.Int("scale", 0, "footprint scale shift")
-		period  = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
-		useEmul = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
+		name     = flag.String("workload", "data-caching", "workload name (Table III or phase-shift)")
+		refs     = flag.Int("refs", 6_000_000, "memory references to execute")
+		ratio    = flag.Int("ratio", 16, "footprint:fast-tier capacity ratio")
+		polName  = flag.String("policy", "history", "placement policy: history, decay, none (baseline only)")
+		method   = flag.String("method", "tmp", "profiling evidence: abit, ibs, tmp")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		scale    = flag.Int("scale", 0, "footprint scale shift")
+		period   = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
+		useEmul  = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for the baseline/placement arms (1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -62,24 +70,42 @@ func main() {
 		costs = &c
 	}
 
-	run := func(p policy.Policy) sim.PlacementResult {
-		cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
-		cfg.EmulCosts = costs
-		res, err := sim.RunPlacement(cfg, mk())
-		if err != nil {
-			fatal(err)
-		}
-		return res
+	// Each arm is a self-contained simulation (its own workload built
+	// from the seed), so the baseline and placement runs fan out on
+	// the runner pool; results come back in submission order and the
+	// printed report is byte-identical at any -parallel width.
+	arm := func(label string, p policy.Policy) runner.Job[sim.PlacementResult] {
+		return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
+			cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
+			cfg.EmulCosts = costs
+			return sim.RunPlacement(cfg, mk())
+		}}
+	}
+	jobs := []runner.Job[sim.PlacementResult]{arm("baseline", nil)}
+	if pol != nil {
+		jobs = append(jobs, arm(*polName, pol))
+	}
+	epoch := time.Now()
+	results, stats, err := runner.Run(runner.Config{
+		Workers: *parallel,
+		NowNS:   func() int64 { return int64(time.Since(epoch)) },
+	}, jobs)
+	if err != nil {
+		fatal(err)
 	}
 
-	base := run(nil)
+	base := results[0]
 	fmt.Printf("baseline (first-touch): duration=%.2fms hitrate=%.3f mem_accesses=%d\n",
 		float64(base.DurationNS)/1e6, base.Hitrate(), base.MemAccesses)
 
 	if pol == nil {
 		return
 	}
-	placed := run(pol)
+	placed := results[1]
+	fmt.Fprintf(os.Stderr, "tmpsim: %d arms on %d workers: wall=%s busy=%s\n",
+		stats.Jobs, stats.Workers,
+		time.Duration(stats.WallNS).Round(time.Millisecond),
+		time.Duration(stats.BusyNS).Round(time.Millisecond))
 	fmt.Printf("%s: duration=%.2fms hitrate=%.3f promotions=%d demotions=%d\n",
 		placed.Arm, float64(placed.DurationNS)/1e6, placed.Hitrate(), placed.Promotions, placed.Demotions)
 	if costs != nil {

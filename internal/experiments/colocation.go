@@ -5,6 +5,7 @@ import (
 
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/workload"
 )
@@ -60,22 +61,15 @@ func Colocation(opts Options, idlerCount int) (ColocationResult, error) {
 		return w, usage, nil
 	}
 
-	run := func(filtered bool) (sim.Result, *sim.Runner, error) {
-		w, usage, err := build()
-		if err != nil {
-			return sim.Result{}, nil, err
-		}
-		cfg := sim.DefaultConfig(w, ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x), opts.Refs)
-		cfg.TMP.Gating = opts.Gating
-		if filtered {
-			cfg.Usage = usage
-		}
-		r, err := sim.New(cfg, w)
-		if err != nil {
-			return sim.Result{}, nil, err
-		}
-		out, err := r.Run(sim.Hooks{})
-		return out, r, err
+	// colocationArm is everything one arm's simulation yields; arms
+	// are self-contained (each builds its own combined workload), so
+	// the filtered and unfiltered runs fan out as two runner cells.
+	type colocationArm struct {
+		ptes         uint64
+		abitNS       int64
+		profiledPIDs int
+		totalPIDs    int
+		busyPages    int
 	}
 
 	busyPages := func(r sim.Result) int {
@@ -90,23 +84,61 @@ func Colocation(opts Options, idlerCount int) (ColocationResult, error) {
 		return len(pages)
 	}
 
-	fres, fr, err := run(true)
-	if err != nil {
-		return res, fmt.Errorf("experiments: colocation filtered arm: %w", err)
+	run := func(filtered bool) (colocationArm, error) {
+		var arm colocationArm
+		w, usage, err := build()
+		if err != nil {
+			return arm, err
+		}
+		cfg := sim.DefaultConfig(w, ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x), opts.Refs)
+		cfg.TMP.Gating = opts.Gating
+		if filtered {
+			cfg.Usage = usage
+		}
+		r, err := sim.New(cfg, w)
+		if err != nil {
+			return arm, err
+		}
+		out, err := r.Run(sim.Hooks{})
+		if err != nil {
+			return arm, err
+		}
+		arm.ptes = r.Profiler.Abit.Stats().PTEsVisited
+		arm.abitNS = out.AbitOverheadNS
+		arm.profiledPIDs = len(r.Profiler.Profiled())
+		arm.totalPIDs = len(r.Workload.Processes())
+		arm.busyPages = busyPages(out)
+		return arm, nil
 	}
-	res.FilteredPTEs = fr.Profiler.Abit.Stats().PTEsVisited
-	res.FilteredAbitNS = fres.AbitOverheadNS
-	res.ProfiledPIDs = len(fr.Profiler.Profiled())
-	res.TotalPIDs = len(fr.Workload.Processes())
-	res.FilteredBusyPages = busyPages(fres)
 
-	ures, ur, err := run(false)
+	arms, err := runCells(opts, "colocation", []runner.Job[colocationArm]{
+		{Name: "colocation/filtered", Run: func() (colocationArm, error) {
+			arm, err := run(true)
+			if err != nil {
+				return arm, fmt.Errorf("experiments: colocation filtered arm: %w", err)
+			}
+			return arm, nil
+		}},
+		{Name: "colocation/unfiltered", Run: func() (colocationArm, error) {
+			arm, err := run(false)
+			if err != nil {
+				return arm, fmt.Errorf("experiments: colocation unfiltered arm: %w", err)
+			}
+			return arm, nil
+		}},
+	})
 	if err != nil {
-		return res, fmt.Errorf("experiments: colocation unfiltered arm: %w", err)
+		return res, err
 	}
-	res.UnfilteredPTEs = ur.Profiler.Abit.Stats().PTEsVisited
-	res.UnfilteredAbitNS = ures.AbitOverheadNS
-	res.UnfilteredBusyPages = busyPages(ures)
+	f, u := arms[0], arms[1]
+	res.FilteredPTEs = f.ptes
+	res.FilteredAbitNS = f.abitNS
+	res.ProfiledPIDs = f.profiledPIDs
+	res.TotalPIDs = f.totalPIDs
+	res.FilteredBusyPages = f.busyPages
+	res.UnfilteredPTEs = u.ptes
+	res.UnfilteredAbitNS = u.abitNS
+	res.UnfilteredBusyPages = u.busyPages
 	return res, nil
 }
 

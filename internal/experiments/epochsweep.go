@@ -7,6 +7,7 @@ import (
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
 )
 
 // EpochSweepRow is one epoch-length arm of the sweep: the offline
@@ -35,29 +36,49 @@ func EpochSweep(s *Suite, multiples []int) ([]EpochSweepRow, error) {
 	if len(multiples) == 0 {
 		multiples = []int{1, 2, 4, 8}
 	}
-	var rows []EpochSweepRow
+	jobs := make([]runner.Job[[]EpochSweepRow], 0, len(s.Opts.workloads()))
 	for _, name := range s.Opts.workloads() {
-		cp, err := s.Capture(name, ibs.Rate4x)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, runner.Job[[]EpochSweepRow]{
+			Name: "epochsweep/" + name,
+			Run:  func() ([]EpochSweepRow, error) { return epochSweepCell(s, name, multiples) },
+		})
+	}
+	cells, err := runCells(s.Opts, "epochsweep", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []EpochSweepRow
+	for _, c := range cells {
+		rows = append(rows, c...)
+	}
+	return rows, nil
+}
+
+// epochSweepCell computes one workload's sweep arms. The Suite capture
+// is concurrency-safe, so concurrent cells needing the same run share
+// one profile.
+func epochSweepCell(s *Suite, name string, multiples []int) ([]EpochSweepRow, error) {
+	cp, err := s.Capture(name, ibs.Rate4x)
+	if err != nil {
+		return nil, err
+	}
+	base := cp.Result.Epochs
+	foot := footprintPages(base)
+	capacity := policy.CapacityForRatio(foot, 16)
+	rows := make([]EpochSweepRow, 0, len(multiples))
+	for _, mult := range multiples {
+		epochs := rebucket(base, mult)
+		hr := policy.EvaluateHitrate(policy.History{}, epochs, core.MethodCombined, capacity)
+		row := EpochSweepRow{
+			Workload:      name,
+			EpochMultiple: mult,
+			Hitrate:       hr.Hitrate(),
+			Epochs:        len(epochs),
 		}
-		base := cp.Result.Epochs
-		foot := footprintPages(base)
-		capacity := policy.CapacityForRatio(foot, 16)
-		for _, mult := range multiples {
-			epochs := rebucket(base, mult)
-			hr := policy.EvaluateHitrate(policy.History{}, epochs, core.MethodCombined, capacity)
-			row := EpochSweepRow{
-				Workload:      name,
-				EpochMultiple: mult,
-				Hitrate:       hr.Hitrate(),
-				Epochs:        len(epochs),
-			}
-			if len(epochs) > 1 {
-				row.MigratedPerEpoch = float64(hr.Migrated) / float64(len(epochs)-1)
-			}
-			rows = append(rows, row)
+		if len(epochs) > 1 {
+			row.MigratedPerEpoch = float64(hr.Migrated) / float64(len(epochs)-1)
 		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

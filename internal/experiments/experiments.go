@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/pmu"
+	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
@@ -34,6 +36,21 @@ type Options struct {
 	Gating bool
 	// Workloads selects Table III names; nil means all eight.
 	Workloads []string
+	// Parallel bounds how many of an experiment's independent
+	// (workload, profiler, config) cells run concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 restores the historical sequential
+	// path. Every cell is a pure function of its seed+config and rows
+	// are reassembled in submission order, so rendered output is
+	// byte-identical at any setting (see TestParallelEqualsSequential).
+	Parallel int
+	// NowNS is an optional monotonic clock for runner stats. The
+	// simulator's time is virtual cycles and internal/ code must not
+	// read the wall clock (tmplint wallclock), so mains inject one.
+	NowNS func() int64
+	// OnRunnerStats, when set, receives each experiment's worker-pool
+	// stats (per-job wall time, queue delay, pool speedup) after its
+	// cells complete.
+	OnRunnerStats func(experiment string, s runner.Stats)
 }
 
 // DefaultOptions returns the laptop-scale defaults used by tests and
@@ -167,28 +184,75 @@ func (c *Capture) Both() int {
 
 // Suite caches captures so the several analyses that share a
 // configuration (Figs. 2-6 all reuse the 4x run) profile each workload
-// once.
+// once. It is safe for concurrent use: parallel cell jobs that need
+// the same (workload, rate) deduplicate onto one Profile call, and
+// because Profile is a pure function of (Opts, name, rate) the cached
+// capture is identical no matter which worker computed it.
 type Suite struct {
-	Opts     Options
-	captures map[string]*Capture
+	Opts Options
+
+	mu       sync.Mutex
+	captures map[string]*suiteEntry
+}
+
+// suiteEntry memoizes one Profile call.
+type suiteEntry struct {
+	once sync.Once
+	cp   *Capture
+	err  error
 }
 
 // NewSuite builds an empty suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{Opts: opts, captures: make(map[string]*Capture)}
+	return &Suite{Opts: opts, captures: make(map[string]*suiteEntry)}
 }
 
 // Capture returns the cached capture for (workload, rate), profiling
 // on first use.
 func (s *Suite) Capture(name string, rate int) (*Capture, error) {
 	key := fmt.Sprintf("%s@%d", name, rate)
-	if c, ok := s.captures[key]; ok {
-		return c, nil
+	s.mu.Lock()
+	e, ok := s.captures[key]
+	if !ok {
+		e = &suiteEntry{}
+		s.captures[key] = e
 	}
-	c, err := Profile(s.Opts, name, rate)
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	// The profiling run happens outside the suite lock so independent
+	// captures proceed in parallel; once.Do makes racing callers for
+	// the same cell share one run.
+	e.once.Do(func() { e.cp, e.err = Profile(s.Opts, name, rate) })
+	return e.cp, e.err
+}
+
+// Warm profiles every (workload, rate) cell on the worker pool, so a
+// following analysis loop — which must visit captures in presentation
+// order to render deterministic rows — finds them all cached. This is
+// how the Suite-backed experiments (Table IV, Fig. 5, the epoch
+// sweep) parallelize without reordering a single output byte.
+func (s *Suite) Warm(experiment string, names []string, rates []int) error {
+	jobs := make([]runner.Job[struct{}], 0, len(names)*len(rates))
+	for _, name := range names {
+		for _, rate := range rates {
+			jobs = append(jobs, runner.Job[struct{}]{
+				Name: fmt.Sprintf("%s/%s@%s", experiment, name, RateName(rate)),
+				Run: func() (struct{}, error) {
+					_, err := s.Capture(name, rate)
+					return struct{}{}, err
+				},
+			})
+		}
 	}
-	s.captures[key] = c
-	return c, nil
+	_, err := runCells(s.Opts, experiment, jobs)
+	return err
+}
+
+// runCells fans an experiment's independent cell jobs out on the
+// bounded worker pool and reassembles results in submission order.
+func runCells[T any](opts Options, experiment string, jobs []runner.Job[T]) ([]T, error) {
+	out, st, err := runner.Run(runner.Config{Workers: opts.Parallel, NowNS: opts.NowNS}, jobs)
+	if opts.OnRunnerStats != nil {
+		opts.OnRunnerStats(experiment, st)
+	}
+	return out, err
 }

@@ -32,6 +32,12 @@ type Fig5Series struct {
 // tails), A-bit counts saturate (bounded by scans), and raising the
 // IBS rate shifts its CDF right without changing its shape.
 func Fig5(s *Suite) ([]Fig5Series, error) {
+	// Profile every (workload, rate) cell on the runner pool; the
+	// series assembly below reads the warmed cache in presentation
+	// order so the emitted rows and CSV points never reorder.
+	if err := s.Warm("fig5", s.Opts.workloads(), Rates); err != nil {
+		return nil, err
+	}
 	var out []Fig5Series
 	for _, name := range s.Opts.workloads() {
 		// A-bit counts per leaf, from the 4x capture (the A-bit view

@@ -10,6 +10,7 @@ import (
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
@@ -40,57 +41,76 @@ type MethodsRow struct {
 // evidence carries little frequency information; TMP's combined
 // evidence places best without the fault bill.
 func MethodsComparison(opts Options) ([]MethodsRow, error) {
-	var rows []MethodsRow
+	jobs := make([]runner.Job[[]MethodsRow], 0, len(opts.workloads()))
 	for _, name := range opts.workloads() {
-		base, err := runDuration(opts, name, func(cfg *sim.Config) {
-			cfg.TMP.Gating = false
-			cfg.TMP.IBS.Period = 1 << 40
-			cfg.TMP.Abit.Interval = 1 << 60
+		jobs = append(jobs, runner.Job[[]MethodsRow]{
+			Name: "methods/" + name,
+			Run:  func() ([]MethodsRow, error) { return methodsCell(opts, name) },
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	cells, err := runCells(opts, "methods", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MethodsRow
+	for _, c := range cells {
+		rows = append(rows, c...)
+	}
+	return rows, nil
+}
 
-		// TMP: full configuration.
-		cp, err := Profile(opts, name, ibs.Rate4x)
-		if err != nil {
-			return nil, err
-		}
-		tmpPages := make(map[core.PageKey]struct{})
-		var tmpObs uint64
-		for _, ep := range cp.Result.Epochs {
-			for _, ps := range ep.Pages {
-				if ps.Abit > 0 || ps.Trace > 0 {
-					tmpPages[ps.Key] = struct{}{}
-					tmpObs += uint64(ps.Abit) + uint64(ps.Trace)
-				}
+// methodsCell computes one workload's three profiler rows. It is
+// self-contained — every run builds its own workload and machine from
+// opts — so cells fan out across runner workers.
+func methodsCell(opts Options, name string) ([]MethodsRow, error) {
+	base, err := runDuration(opts, name, func(cfg *sim.Config) {
+		cfg.TMP.Gating = false
+		cfg.TMP.IBS.Period = 1 << 40
+		cfg.TMP.Abit.Interval = 1 << 60
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// TMP: full configuration.
+	cp, err := Profile(opts, name, ibs.Rate4x)
+	if err != nil {
+		return nil, err
+	}
+	tmpPages := make(map[core.PageKey]struct{})
+	var tmpObs uint64
+	for _, ep := range cp.Result.Epochs {
+		for _, ps := range ep.Pages {
+			if ps.Abit > 0 || ps.Trace > 0 {
+				tmpPages[ps.Key] = struct{}{}
+				tmpObs += uint64(ps.Abit) + uint64(ps.Trace)
 			}
 		}
-		rows = append(rows, MethodsRow{
-			Workload:      name,
-			Profiler:      "tmp",
-			DistinctPages: len(tmpPages),
-			Observations:  tmpObs,
-			OverheadPct:   pct(cp.Result.DurationNS, base),
-			OracleHitrate: oracleQuality(cp.Result.Epochs, core.MethodCombined),
-		})
-
-		an, err := runAutonuma(opts, name)
-		if err != nil {
-			return nil, err
-		}
-		an.OverheadPct = pct(an.durationNS, base)
-		an.OracleHitrate = oracleQuality(an.epochs, core.MethodAbit)
-		rows = append(rows, an.MethodsRow)
-
-		bt, err := runBadgerTrap(opts, name)
-		if err != nil {
-			return nil, err
-		}
-		bt.OverheadPct = pct(bt.durationNS, base)
-		bt.OracleHitrate = oracleQuality(bt.epochs, core.MethodAbit)
-		rows = append(rows, bt.MethodsRow)
 	}
+	rows := []MethodsRow{{
+		Workload:      name,
+		Profiler:      "tmp",
+		DistinctPages: len(tmpPages),
+		Observations:  tmpObs,
+		OverheadPct:   pct(cp.Result.DurationNS, base),
+		OracleHitrate: oracleQuality(cp.Result.Epochs, core.MethodCombined),
+	}}
+
+	an, err := runAutonuma(opts, name)
+	if err != nil {
+		return nil, err
+	}
+	an.OverheadPct = pct(an.durationNS, base)
+	an.OracleHitrate = oracleQuality(an.epochs, core.MethodAbit)
+	rows = append(rows, an.MethodsRow)
+
+	bt, err := runBadgerTrap(opts, name)
+	if err != nil {
+		return nil, err
+	}
+	bt.OverheadPct = pct(bt.durationNS, base)
+	bt.OracleHitrate = oracleQuality(bt.epochs, core.MethodAbit)
+	rows = append(rows, bt.MethodsRow)
 	return rows, nil
 }
 

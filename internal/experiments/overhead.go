@@ -5,6 +5,7 @@ import (
 
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/workload"
 )
@@ -21,65 +22,74 @@ type OverheadRow struct {
 	TMPFullPct float64 // everything on, with HWPC gating
 }
 
+// overheadConfigs lists the §VI-B profiling configurations, in the
+// column order of the rendered table. Each is one runner cell.
+var overheadConfigs = []struct {
+	name   string
+	mutate func(opts Options, cfg *sim.Config)
+}{
+	{"base", func(opts Options, cfg *sim.Config) {
+		// Disable everything: no scans, no sampling, no gating.
+		cfg.TMP.Gating = false
+		cfg.TMP.IBS.Period = 1 << 40
+		cfg.TMP.Abit.Interval = 1 << 60
+	}},
+	{"abit", func(opts Options, cfg *sim.Config) {
+		cfg.TMP.Gating = false
+		cfg.TMP.IBS.Period = 1 << 40
+	}},
+	{"ibs-default", func(opts Options, cfg *sim.Config) {
+		cfg.TMP.Gating = false
+		cfg.TMP.Abit.Interval = 1 << 60
+		cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate1x)
+	}},
+	{"ibs-4x", func(opts Options, cfg *sim.Config) {
+		cfg.TMP.Gating = false
+		cfg.TMP.Abit.Interval = 1 << 60
+		cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+	}},
+	{"tmp-full", func(opts Options, cfg *sim.Config) {
+		cfg.TMP.Gating = true
+		cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+	}},
+}
+
 // Overhead measures profiling cost by running each workload once
 // without any profiler and once per configuration, comparing
 // end-to-end virtual durations — the paper's methodology ("we measured
-// the end-to-end latency of each workload with our profiler").
+// the end-to-end latency of each workload with our profiler"). Every
+// (workload, configuration) pair is an independent simulation, so all
+// len(workloads) x 5 cells fan out on the runner pool; rows assemble
+// from the ordered results.
 func Overhead(opts Options) ([]OverheadRow, error) {
-	var rows []OverheadRow
-	for _, name := range opts.workloads() {
-		row := OverheadRow{Workload: name}
-
-		base, err := runDuration(opts, name, func(cfg *sim.Config) {
-			// Disable everything: no scans, no sampling, no gating.
-			cfg.TMP.Gating = false
-			cfg.TMP.IBS.Period = 1 << 40
-			cfg.TMP.Abit.Interval = 1 << 60
-		})
-		if err != nil {
-			return nil, err
+	names := opts.workloads()
+	jobs := make([]runner.Job[int64], 0, len(names)*len(overheadConfigs))
+	for _, name := range names {
+		for _, oc := range overheadConfigs {
+			jobs = append(jobs, runner.Job[int64]{
+				Name: "overhead/" + name + "/" + oc.name,
+				Run: func() (int64, error) {
+					return runDuration(opts, name, func(cfg *sim.Config) { oc.mutate(opts, cfg) })
+				},
+			})
 		}
-		row.BaseNS = base
-
-		abitOnly, err := runDuration(opts, name, func(cfg *sim.Config) {
-			cfg.TMP.Gating = false
-			cfg.TMP.IBS.Period = 1 << 40
+	}
+	durations, err := runCells(opts, "overhead", jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OverheadRow, 0, len(names))
+	for i, name := range names {
+		d := durations[i*len(overheadConfigs) : (i+1)*len(overheadConfigs)]
+		base := d[0]
+		rows = append(rows, OverheadRow{
+			Workload:   name,
+			BaseNS:     base,
+			AbitPct:    pct(d[1], base),
+			IBSDefPct:  pct(d[2], base),
+			IBS4xPct:   pct(d[3], base),
+			TMPFullPct: pct(d[4], base),
 		})
-		if err != nil {
-			return nil, err
-		}
-		row.AbitPct = pct(abitOnly, base)
-
-		ibsDef, err := runDuration(opts, name, func(cfg *sim.Config) {
-			cfg.TMP.Gating = false
-			cfg.TMP.Abit.Interval = 1 << 60
-			cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate1x)
-		})
-		if err != nil {
-			return nil, err
-		}
-		row.IBSDefPct = pct(ibsDef, base)
-
-		ibs4x, err := runDuration(opts, name, func(cfg *sim.Config) {
-			cfg.TMP.Gating = false
-			cfg.TMP.Abit.Interval = 1 << 60
-			cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
-		})
-		if err != nil {
-			return nil, err
-		}
-		row.IBS4xPct = pct(ibs4x, base)
-
-		full, err := runDuration(opts, name, func(cfg *sim.Config) {
-			cfg.TMP.Gating = true
-			cfg.TMP.IBS.Period = ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
-		})
-		if err != nil {
-			return nil, err
-		}
-		row.TMPFullPct = pct(full, base)
-
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

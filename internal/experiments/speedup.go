@@ -9,6 +9,7 @@ import (
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/workload"
 )
@@ -41,55 +42,81 @@ type SpeedupResult struct {
 	SimAvg, SimBest   float64
 }
 
+// speedupArms lists the four placement arms of one workload's row, in
+// a fixed order the assembly below indexes by.
+var speedupArms = []struct {
+	name    string
+	history bool // History policy (vs first-touch baseline)
+	emul    bool // BadgerTrap emulation cost model (vs native latency)
+}{
+	{"emul-baseline", false, true},
+	{"emul-tmp", true, true},
+	{"sim-baseline", false, false},
+	{"sim-tmp", true, false},
+}
+
+// speedupArm runs one self-contained placement simulation.
+func speedupArm(opts Options, name string, history, useEmul bool) (sim.PlacementResult, error) {
+	const ratio = 16
+	w, err := workload.New(name, opts.workloadConfig())
+	if err != nil {
+		return sim.PlacementResult{}, err
+	}
+	var p policy.Policy
+	if history {
+		p = policy.History{}
+	}
+	var costs *emul.Costs
+	if useEmul {
+		c := emul.PaperCosts(0)
+		costs = &c
+	}
+	period := ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+	cfg := sim.DefaultPlacementConfig(w, period, opts.Refs, ratio, p, core.MethodCombined)
+	cfg.EmulCosts = costs
+	return sim.RunPlacement(cfg, w)
+}
+
 // Speedup reproduces the end-to-end evaluation: a 1/16 fast:total
 // capacity ratio (the paper's 4 GB fast + 60 GB slow), History policy
-// on TMP's combined rank, against first-touch.
+// on TMP's combined rank, against first-touch. Every workload
+// contributes four independent arms (emulated/native x baseline/TMP);
+// all 4 x len(workloads) simulations fan out on the runner pool.
 func Speedup(opts Options) (SpeedupResult, error) {
 	var res SpeedupResult
-	const ratio = 16
-	for _, name := range opts.workloads() {
+	names := opts.workloads()
+	jobs := make([]runner.Job[sim.PlacementResult], 0, len(names)*len(speedupArms))
+	for _, name := range names {
+		for _, arm := range speedupArms {
+			jobs = append(jobs, runner.Job[sim.PlacementResult]{
+				Name: "speedup/" + name + "/" + arm.name,
+				Run: func() (sim.PlacementResult, error) {
+					r, err := speedupArm(opts, name, arm.history, arm.emul)
+					if err != nil {
+						return r, fmt.Errorf("experiments: %s %s: %w", name, arm.name, err)
+					}
+					return r, nil
+				},
+			})
+		}
+	}
+	arms, err := runCells(opts, "speedup", jobs)
+	if err != nil {
+		return res, err
+	}
+	for i, name := range names {
+		a := arms[i*len(speedupArms) : (i+1)*len(speedupArms)]
+		eb, et, sb, st := a[0], a[1], a[2], a[3]
 		row := SpeedupRow{Workload: name}
-
-		runArm := func(p policy.Policy, costs *emul.Costs) (sim.PlacementResult, error) {
-			w, err := workload.New(name, opts.workloadConfig())
-			if err != nil {
-				return sim.PlacementResult{}, err
-			}
-			period := ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
-			cfg := sim.DefaultPlacementConfig(w, period, opts.Refs, ratio, p, core.MethodCombined)
-			cfg.EmulCosts = costs
-			return sim.RunPlacement(cfg, w)
-		}
-
-		paperCosts := emul.PaperCosts(0)
-
-		eb, err := runArm(nil, &paperCosts)
-		if err != nil {
-			return res, fmt.Errorf("experiments: %s emul baseline: %w", name, err)
-		}
-		et, err := runArm(policy.History{}, &paperCosts)
-		if err != nil {
-			return res, fmt.Errorf("experiments: %s emul tmp: %w", name, err)
-		}
 		row.EmulBaselineNS, row.EmulTMPNS = eb.DurationNS, et.DurationNS
 		if et.DurationNS > 0 {
 			row.EmulSpeedup = float64(eb.DurationNS) / float64(et.DurationNS)
-		}
-
-		sb, err := runArm(nil, nil)
-		if err != nil {
-			return res, fmt.Errorf("experiments: %s sim baseline: %w", name, err)
-		}
-		st, err := runArm(policy.History{}, nil)
-		if err != nil {
-			return res, fmt.Errorf("experiments: %s sim tmp: %w", name, err)
 		}
 		row.SimBaselineNS, row.SimTMPNS = sb.DurationNS, st.DurationNS
 		if st.DurationNS > 0 {
 			row.SimSpeedup = float64(sb.DurationNS) / float64(st.DurationNS)
 		}
 		row.BaseHitrate, row.TMPHitrate = sb.Hitrate(), st.Hitrate()
-
 		res.Rows = append(res.Rows, row)
 	}
 	for _, r := range res.Rows {

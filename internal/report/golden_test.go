@@ -1,0 +1,70 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the goldens instead of comparing against them:
+//
+//	go test ./internal/report -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata goldens")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\ngot:\n%s\nwant:\n%s\n(run `go test ./internal/report -run Golden -update` if the change is intended)",
+			name, got, string(want))
+	}
+}
+
+// fixtureTable builds a table exercising alignment: mixed cell types,
+// a float (formatted to 3 decimals), and ragged widths.
+func fixtureTable() *Table {
+	t := NewTable("Fixture: alignment and formatting",
+		"workload", "pages", "hitrate", "note")
+	t.AddRow("gups", 270555, 0.25, "thp-backed")
+	t.AddRow("web-serving", 4263, 0.9999, "short")
+	t.AddRow("x", 1, float64(2), "a-much-longer-cell-than-the-header")
+	return t
+}
+
+func TestGoldenTableRender(t *testing.T) {
+	checkGolden(t, "table_render", fixtureTable().Render())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	checkGolden(t, "table_csv", fixtureTable().CSV())
+}
+
+func TestGoldenSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Name: "gups/ibs(4x)", Points: [][2]float64{{1, 0.5}, {2, 0.75}, {16, 1}}},
+		{Name: "gups/truth", Points: [][2]float64{{1, 0.25}, {1024, 1}}},
+		{Name: "empty", Points: nil},
+	}
+	checkGolden(t, "series_csv", SeriesCSV(series))
+}
+
+func TestGoldenEmptyTable(t *testing.T) {
+	// Headers only, no title: the degenerate shape CSV callers use.
+	checkGolden(t, "table_empty", NewTable("", "a", "bb").Render())
+}

@@ -1,0 +1,117 @@
+package runner_test
+
+// Benchmarks the worker pool end-to-end on real experiment cells
+// (not synthetic sleeps): the methods comparison over four Table III
+// workloads, sequential vs parallel. This is an external test package
+// so it may import internal/experiments, which itself imports
+// internal/runner.
+//
+// CI runs BenchmarkRunner and the env-gated TestEmitRunnerBenchJSON
+// below to record the sequential-vs-parallel wall time in
+// BENCH_runner.json (see .github/workflows/ci.yml). Wall-clock reads
+// are fine here: tmplint's wallclock rule exempts _test.go files.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tieredmem/internal/experiments"
+)
+
+// benchWorkloads is the fixed cell set: one job per workload.
+var benchWorkloads = []string{"gups", "web-serving", "data-caching", "lulesh"}
+
+func benchOptions(parallel int) experiments.Options {
+	opts := experiments.DefaultOptions()
+	opts.Refs = 400_000 // small cells: the benchmark measures the pool, not the sim
+	opts.Workloads = benchWorkloads
+	opts.Parallel = parallel
+	return opts
+}
+
+func runCells(tb testing.TB, parallel int) string {
+	rows, err := experiments.MethodsComparison(benchOptions(parallel))
+	if err != nil {
+		tb.Fatalf("methods comparison (parallel=%d): %v", parallel, err)
+	}
+	return experiments.RenderMethods(rows)
+}
+
+func BenchmarkRunner(b *testing.B) {
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // 0 = runtime.GOMAXPROCS(0)
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCells(b, m.workers)
+			}
+		})
+	}
+}
+
+// TestEmitRunnerBenchJSON times one sequential and one parallel run of
+// the benchmark cell set and writes the comparison to the path in
+// BENCH_RUNNER_JSON (skipped when unset). CI uploads the file as the
+// BENCH_runner.json artifact; the committed copy at the repo root is a
+// reference measurement from this test.
+func TestEmitRunnerBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_RUNNER_JSON")
+	if path == "" {
+		t.Skip("BENCH_RUNNER_JSON not set")
+	}
+
+	start := time.Now()
+	seqOut := runCells(t, 1)
+	seqNS := time.Since(start).Nanoseconds()
+
+	workers := runtime.GOMAXPROCS(0)
+	start = time.Now()
+	parOut := runCells(t, 0)
+	parNS := time.Since(start).Nanoseconds()
+
+	// The benchmark doubles as a determinism check: both modes must
+	// render byte-identical tables.
+	if seqOut != parOut {
+		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+
+	report := struct {
+		Benchmark    string   `json:"benchmark"`
+		Experiment   string   `json:"experiment"`
+		Workloads    []string `json:"workloads"`
+		RefsPerCell  int      `json:"refs_per_cell"`
+		Workers      int      `json:"workers"`
+		SequentialNS int64    `json:"sequential_ns"`
+		ParallelNS   int64    `json:"parallel_ns"`
+		Speedup      float64  `json:"speedup"`
+		Identical    bool     `json:"output_identical"`
+	}{
+		Benchmark:    "BenchmarkRunner",
+		Experiment:   "methods",
+		Workloads:    benchWorkloads,
+		RefsPerCell:  benchOptions(0).Refs,
+		Workers:      workers,
+		SequentialNS: seqNS,
+		ParallelNS:   parNS,
+		Speedup:      float64(seqNS) / float64(parNS),
+		Identical:    true,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential=%s parallel=%s speedup=%.2fx (workers=%d) -> %s",
+		time.Duration(seqNS), time.Duration(parNS), report.Speedup, workers, path)
+}

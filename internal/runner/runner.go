@@ -1,0 +1,200 @@
+// Package runner executes independent, self-contained simulation jobs
+// on a bounded worker pool while preserving sequential semantics: the
+// result slice is reassembled in submission order, so callers that
+// render rows from it produce byte-identical output at any worker
+// count. This is the concurrency step the ROADMAP anticipated, built
+// against the PR-1 invariant machinery: jobs communicate only through
+// their return values (no shared maps), errors surface in submission
+// order (the same job a sequential loop would have failed on), and the
+// pool itself holds no state beyond pre-sized slices indexed by job.
+//
+// Each job must be a pure function of its own inputs — it builds its
+// own workload, sim.Config, and RNG from an explicit seed — because
+// jobs run on arbitrary workers in arbitrary real-time order. The
+// determinism contract (same seed, same output) is what makes the
+// parallelism invisible: internal/experiments proves parallel ==
+// sequential byte-for-byte in its regression tests.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one named, self-contained unit of work producing a T.
+type Job[T any] struct {
+	// Name labels the job in Stats (e.g. "methods/gups").
+	Name string
+	// Run computes the job's result. It must not share mutable state
+	// with any other job; everything it needs is captured at
+	// declaration time or rebuilt from a seed inside the call.
+	Run func() (T, error)
+}
+
+// Config bounds a Run call.
+type Config struct {
+	// Workers caps concurrently running jobs. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs every job inline on the caller's
+	// goroutine, which is exactly the historical sequential path.
+	Workers int
+	// NowNS is an optional monotonic clock used only to fill Stats.
+	// The simulator's own time is virtual cycles and internal/
+	// packages must not read the wall clock (tmplint's wallclock
+	// analyzer), so mains inject one (cmd/tmpbench passes a
+	// time.Since closure). Nil leaves all Stats timings zero.
+	NowNS func() int64
+}
+
+func (c Config) workers(jobs int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (c Config) clock() func() int64 {
+	if c.NowNS != nil {
+		return c.NowNS
+	}
+	return func() int64 { return 0 }
+}
+
+// JobStat times one job's trip through the pool.
+type JobStat struct {
+	Name string
+	// Worker indexes the worker goroutine that ran the job
+	// (0..Workers-1; always 0 on the sequential path).
+	Worker int
+	// QueueNS is how long the job waited between submission and
+	// start — all jobs are submitted when Run is called.
+	QueueNS int64
+	// WallNS is the job's own run duration.
+	WallNS int64
+}
+
+// Stats summarizes one Run call so the speedup is measurable.
+type Stats struct {
+	Jobs    int
+	Workers int
+	// WallNS is the whole call's elapsed time.
+	WallNS int64
+	// BusyNS sums per-job wall times: the sequential-equivalent cost.
+	BusyNS int64
+	// QueueNS sums per-job queue delays.
+	QueueNS int64
+	// PerJob holds one entry per job, in submission order.
+	PerJob []JobStat
+}
+
+// Speedup is the parallel efficiency of the call: total job work over
+// elapsed wall time (1.0 on the sequential path, up to Workers when
+// the pool is saturated). 0 when no clock was injected. Note this is
+// busy-time over wall-time, not a host-core count: on a box whose
+// GOMAXPROCS is smaller than Workers, goroutine interleaving inflates
+// per-job wall times, so the ratio reports pool concurrency rather
+// than real CPU speedup (BENCH_runner.json records the latter).
+func (s Stats) Speedup() float64 {
+	if s.WallNS <= 0 {
+		return 0
+	}
+	return float64(s.BusyNS) / float64(s.WallNS)
+}
+
+// Run executes jobs on the configured pool and returns results in
+// submission order. On error it returns the failure from the
+// lowest-indexed failing job (the one a sequential loop would have
+// stopped at); later jobs may or may not have run, but since jobs are
+// self-contained their results are simply discarded.
+func Run[T any](cfg Config, jobs []Job[T]) ([]T, Stats, error) {
+	now := cfg.clock()
+	stats := Stats{
+		Jobs:    len(jobs),
+		Workers: cfg.workers(len(jobs)),
+		PerJob:  make([]JobStat, len(jobs)),
+	}
+	if len(jobs) == 0 {
+		return nil, stats, nil
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	start := now()
+
+	if stats.Workers == 1 {
+		// Sequential path: inline on the caller's goroutine, stopping
+		// at the first error exactly as the pre-runner loops did.
+		for i := range jobs {
+			js := &stats.PerJob[i]
+			js.Name = jobs[i].Name
+			js.QueueNS = now() - start
+			t0 := now()
+			results[i], errs[i] = jobs[i].Run()
+			js.WallNS = now() - t0
+			if errs[i] != nil {
+				finish(&stats, now()-start)
+				return results, stats, errs[i]
+			}
+		}
+		finish(&stats, now()-start)
+		return results, stats, nil
+	}
+
+	// Parallel path: workers pull indices from a channel and write
+	// results only at their own index — no shared maps, no locks on
+	// the data path. A failed job flips the stop flag so the pool
+	// drains quickly, mirroring sequential fail-fast cost.
+	idx := make(chan int)
+	var stop sync.Once
+	stopped := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < stats.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idx {
+				js := &stats.PerJob[i]
+				js.Name = jobs[i].Name
+				js.Worker = worker
+				js.QueueNS = now() - start
+				t0 := now()
+				results[i], errs[i] = jobs[i].Run()
+				js.WallNS = now() - t0
+				if errs[i] != nil {
+					stop.Do(func() { close(stopped) })
+				}
+			}
+		}(w)
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-stopped:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	finish(&stats, now()-start)
+	for i := range errs {
+		if errs[i] != nil {
+			return results, stats, errs[i]
+		}
+	}
+	return results, stats, nil
+}
+
+// finish fills the aggregate fields once per-job stats are final.
+func finish(s *Stats, wall int64) {
+	s.WallNS = wall
+	for i := range s.PerJob {
+		s.BusyNS += s.PerJob[i].WallNS
+		s.QueueNS += s.PerJob[i].QueueNS
+	}
+}

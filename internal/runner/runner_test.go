@@ -1,0 +1,241 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// job builds a trivial job returning its own index.
+func job(i int) Job[int] {
+	return Job[int]{Name: fmt.Sprintf("job/%d", i), Run: func() (int, error) { return i, nil }}
+}
+
+// TestResultsInSubmissionOrder is the runner's core contract: results
+// come back in submission order no matter how many workers raced.
+func TestResultsInSubmissionOrder(t *testing.T) {
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = job(i)
+	}
+	for _, workers := range []int{1, 2, 8, n + 5} {
+		out, st, err := Run(Config{Workers: workers}, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		if st.Jobs != n {
+			t.Errorf("workers=%d: stats.Jobs = %d", workers, st.Jobs)
+		}
+		if workers > n && st.Workers != n {
+			t.Errorf("workers=%d: pool not capped at job count: %d", workers, st.Workers)
+		}
+	}
+}
+
+// TestSequentialAndParallelIdentical runs an order-sensitive
+// accumulation through both paths: because results are reassembled by
+// index, the fold over them is identical.
+func TestSequentialAndParallelIdentical(t *testing.T) {
+	jobs := make([]Job[string], 20)
+	for i := range jobs {
+		jobs[i] = Job[string]{
+			Name: fmt.Sprintf("cell/%d", i),
+			Run:  func() (string, error) { return fmt.Sprintf("<%d>", i), nil },
+		}
+	}
+	fold := func(workers int) string {
+		out, _, err := Run(Config{Workers: workers}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ""
+		for _, v := range out {
+			s += v
+		}
+		return s
+	}
+	seq := fold(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := fold(w); got != seq {
+			t.Fatalf("workers=%d: %q != sequential %q", w, got, seq)
+		}
+	}
+}
+
+// TestErrorReturnsLowestIndex: the error reported is the one the
+// sequential loop would have stopped at, regardless of which worker
+// hit an error first in real time.
+func TestErrorReturnsLowestIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	jobs := []Job[int]{
+		job(0),
+		{Name: "fail/1", Run: func() (int, error) { return 0, errLow }},
+		job(2),
+		{Name: "fail/3", Run: func() (int, error) { return 0, errHigh }},
+	}
+	for _, workers := range []int{1, 4} {
+		_, _, err := Run(Config{Workers: workers}, jobs)
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestSequentialFailFast: workers=1 must not run jobs past the first
+// failure (the historical loop semantics).
+func TestSequentialFailFast(t *testing.T) {
+	ran := 0
+	boom := errors.New("boom")
+	jobs := []Job[int]{
+		{Name: "a", Run: func() (int, error) { ran++; return 0, nil }},
+		{Name: "b", Run: func() (int, error) { ran++; return 0, boom }},
+		{Name: "c", Run: func() (int, error) { ran++; return 0, nil }},
+	}
+	if _, _, err := Run(Config{Workers: 1}, jobs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 2 {
+		t.Errorf("ran %d jobs, want 2", ran)
+	}
+}
+
+// TestParallelStopsFeeding: after a failure the feeder stops handing
+// out new jobs (drain, don't start fresh work).
+func TestParallelStopsFeeding(t *testing.T) {
+	const n = 1000
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	_, _, err := Run(Config{Workers: 2}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got == n {
+		t.Errorf("all %d jobs ran despite early failure", got)
+	}
+}
+
+// TestWorkerBound: no more than Workers jobs run concurrently.
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	jobs := make([]Job[int], 24)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: "j", Run: func() (int, error) {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			cur.Add(-1)
+			return i, nil
+		}}
+	}
+	if _, _, err := Run(Config{Workers: workers}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestStatsWithInjectedClock: a deterministic fake clock must fill
+// wall, busy, and queue stats consistently.
+func TestStatsWithInjectedClock(t *testing.T) {
+	var tick atomic.Int64
+	clock := func() int64 { return tick.Add(1) }
+	jobs := []Job[int]{job(0), job(1), job(2)}
+	out, st, err := Run(Config{Workers: 1, NowNS: clock}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d results", len(out))
+	}
+	if st.WallNS <= 0 {
+		t.Errorf("WallNS = %d, want > 0", st.WallNS)
+	}
+	if st.BusyNS <= 0 {
+		t.Errorf("BusyNS = %d, want > 0", st.BusyNS)
+	}
+	if len(st.PerJob) != 3 {
+		t.Fatalf("PerJob = %d entries", len(st.PerJob))
+	}
+	for i, js := range st.PerJob {
+		if js.Name != jobs[i].Name {
+			t.Errorf("PerJob[%d].Name = %q", i, js.Name)
+		}
+		if js.WallNS <= 0 {
+			t.Errorf("PerJob[%d].WallNS = %d", i, js.WallNS)
+		}
+	}
+	if st.Speedup() <= 0 {
+		t.Errorf("Speedup = %v with a clock injected", st.Speedup())
+	}
+}
+
+// TestNoClockLeavesStatsZero: without an injected clock the runner
+// must not time anything (internal/ code cannot read the wall clock).
+func TestNoClockLeavesStatsZero(t *testing.T) {
+	_, st, err := Run(Config{Workers: 2}, []Job[int]{job(0), job(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WallNS != 0 || st.BusyNS != 0 || st.QueueNS != 0 {
+		t.Errorf("timings nonzero without a clock: %+v", st)
+	}
+	if st.Speedup() != 0 {
+		t.Errorf("Speedup = %v without a clock", st.Speedup())
+	}
+}
+
+// TestEmptyJobs: zero jobs is a no-op, not a hang.
+func TestEmptyJobs(t *testing.T) {
+	out, st, err := Run[int](Config{Workers: 4}, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if st.Jobs != 0 {
+		t.Errorf("Jobs = %d", st.Jobs)
+	}
+}
+
+// TestDefaultWorkers: Workers=0 resolves to GOMAXPROCS.
+func TestDefaultWorkers(t *testing.T) {
+	jobs := make([]Job[int], 2*runtime.GOMAXPROCS(0)+1)
+	for i := range jobs {
+		jobs[i] = job(i)
+	}
+	_, st, err := Run(Config{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers = %d, want GOMAXPROCS %d", st.Workers, runtime.GOMAXPROCS(0))
+	}
+}

@@ -71,16 +71,23 @@ type idlers struct {
 
 // NewIdlers builds n near-idle processes, each with a heapBytes cold
 // region streamed once at startup and a single hot page touched
-// afterwards.
+// afterwards. Heaps are clamped to 1 GiB: the generator's point is
+// page-table population, and anything larger would overflow the
+// per-process address budget under footprint growth.
 func NewIdlers(cfg Config, n int, heapBytes uint64) Workload {
 	if n < 1 {
 		n = 1
+	}
+	const maxIdlerHeap = 1 << 30
+	heapBytes = cfg.scaled(heapBytes)
+	if heapBytes > maxIdlerHeap {
+		heapBytes = maxIdlerHeap
 	}
 	id := &idlers{}
 	id.name = "idlers"
 	for i := 0; i < n; i++ {
 		p := newProc(cfg.FirstPID+i, cfg.Seed)
-		heap := p.region(cfg.scaled(heapBytes))
+		heap := p.region(heapBytes)
 		id.bytes += heap.size
 		pp := p
 		var cur uint64

@@ -22,10 +22,13 @@ fi
 echo "==> tmplint ./..."
 go run ./cmd/tmplint ./...
 
-echo "==> go test -race ./..."
-# The race detector slows the simulator-heavy packages ~10x; the
-# experiments suite alone can exceed go test's default 10m per-package
-# timeout, so give the binaries room.
-go test -race -timeout 40m ./...
+echo "==> go test -race -shuffle=on ./..."
+# The race detector slows the simulator-heavy packages ~10x, but the
+# experiments suite now runs its cells on the parallel runner (one
+# worker per core by default), so 15m per package is ample headroom.
+# -shuffle=on randomizes test order each run: tests must not depend on
+# sibling-test side effects, matching the determinism contract's
+# "every cell is a pure function of its config" rule.
+go test -race -shuffle=on -timeout 15m ./...
 
 echo "All checks passed."
