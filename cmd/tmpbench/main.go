@@ -36,6 +36,8 @@ import (
 	"tieredmem/internal/experiments"
 	"tieredmem/internal/report"
 	"tieredmem/internal/runner"
+	"tieredmem/internal/telemetry"
+	"tieredmem/internal/teleout"
 )
 
 func main() {
@@ -50,9 +52,21 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all eight)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for independent experiment cells (1 = sequential; output is byte-identical at any setting)")
 		stats     = flag.Bool("stats", true, "print per-experiment worker-pool stats to stderr")
+		tracOut   = flag.String("trace", "", "write a Chrome trace_viewer JSON of every profiled cell (open in chrome://tracing or Perfetto)")
+		evtsOut   = flag.String("events", "", "write the structured JSONL event log of every profiled cell")
+		metrics   = flag.Bool("metrics", false, "write metrics.txt: per-cell virtual-time attribution plus host-side pool counters")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of this process")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile of this process")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		stop, err := teleout.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 	opts := experiments.Options{
 		Seed:       *seed,
 		ScaleShift: *scale,
@@ -60,6 +74,7 @@ func main() {
 		BasePeriod: *period,
 		Gating:     *gating,
 		Parallel:   *parallel,
+		Trace:      *tracOut != "" || *evtsOut != "" || *metrics,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
@@ -69,8 +84,17 @@ func main() {
 	// runner's stats need.
 	epoch := time.Now()
 	opts.NowNS = func() int64 { return int64(time.Since(epoch)) }
+	// Host-side (wall-clock) pool metrics live in their own registry,
+	// never merged into the deterministic virtual-time streams.
+	var hostReg telemetry.Registry
+	statsHook := opts.OnRunnerStats
+	if *metrics {
+		statsHook = func(experiment string, s runner.Stats) {
+			runner.RecordStats(&hostReg, experiment, s)
+		}
+	}
 	if *stats {
-		opts.OnRunnerStats = func(experiment string, s runner.Stats) {
+		printStats := func(experiment string, s runner.Stats) {
 			if s.Jobs == 0 {
 				return
 			}
@@ -87,7 +111,15 @@ func main() {
 					time.Duration(js.WallNS).Round(time.Millisecond))
 			}
 		}
+		record := statsHook
+		statsHook = func(experiment string, s runner.Stats) {
+			if record != nil {
+				record(experiment, s)
+			}
+			printStats(experiment, s)
+		}
 	}
+	opts.OnRunnerStats = statsHook
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -115,15 +147,61 @@ func main() {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
 		}
-		return
+	} else {
+		run, ok := runs[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		if err := run(); err != nil {
+			fatal(err)
+		}
 	}
-	run, ok := runs[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+
+	if *tracOut != "" {
+		if err := teleout.WriteTrace(*tracOut, suite.Traces()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tmpbench: wrote trace %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *tracOut)
 	}
-	if err := run(); err != nil {
-		fatal(err)
+	if *evtsOut != "" {
+		if err := teleout.WriteEvents(*evtsOut, suite.Traces()); err != nil {
+			fatal(err)
+		}
 	}
+	if *metrics {
+		if err := writeFile(*out, "metrics.txt", renderMetrics(suite, &hostReg)); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProf != "" {
+		if err := teleout.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// renderMetrics builds metrics.txt: one virtual-time attribution table
+// per profiled cell (deterministic), then the host-side worker-pool
+// counters (wall-clock; varies run to run by design).
+func renderMetrics(suite *experiments.Suite, hostReg *telemetry.Registry) string {
+	var b strings.Builder
+	for _, cp := range suite.Captures() {
+		if cp.Telemetry == nil {
+			continue
+		}
+		rows := cp.Telemetry.Attribution(cp.Result.DurationNS, cp.Result.NumCores)
+		b.WriteString(report.AttributionTable("Virtual-time attribution: "+cp.Label(), rows).Render())
+		b.WriteString("\n\n")
+	}
+	if totals := hostReg.Totals(); len(totals) > 0 {
+		t := report.NewTable("Host pool counters (wall clock; not deterministic)", "counter", "value")
+		for _, cv := range totals {
+			t.AddRow(cv.Name, cv.Value)
+		}
+		b.WriteString(t.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // maxQueueNS is the longest any cell waited for a worker.

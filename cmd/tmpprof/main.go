@@ -18,6 +18,8 @@ import (
 	"tieredmem/internal/experiments"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/report"
+	"tieredmem/internal/telemetry"
+	"tieredmem/internal/teleout"
 	"tieredmem/internal/workload"
 )
 
@@ -32,12 +34,28 @@ func main() {
 		gating  = flag.Bool("gating", true, "enable HWPC gating of profilers")
 		heat    = flag.Bool("heatmap", false, "print IBS and A-bit heatmaps")
 		topN    = flag.Int("top", 10, "hottest pages to list")
+		tracOut = flag.String("trace", "", "write a Chrome trace_viewer JSON (virtual-time flamegraph; open in chrome://tracing or Perfetto)")
+		evtsOut = flag.String("events", "", "write the structured JSONL event log")
+		metrics = flag.Bool("metrics", false, "print the per-subsystem virtual-time attribution table")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of this process")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile of this process")
 	)
 	flag.Parse()
 
 	rate, err := parseRate(*rateStr)
 	if err != nil {
-		fatal(err)
+		// A typoed rate silently profiling at some other rate would
+		// invalidate every number printed, so refuse loudly.
+		fmt.Fprintln(os.Stderr, "tmpprof:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		stop, err := teleout.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
 	}
 	opts := experiments.Options{
 		Seed:       *seed,
@@ -46,6 +64,7 @@ func main() {
 		BasePeriod: *period,
 		Gating:     *gating,
 		Workloads:  []string{*name},
+		Trace:      *tracOut != "" || *evtsOut != "" || *metrics,
 	}
 	cp, err := experiments.Profile(opts, *name, rate)
 	if err != nil {
@@ -78,6 +97,28 @@ func main() {
 	}
 	fmt.Println(tab.Render())
 
+	if opts.Trace {
+		runs := []telemetry.Labeled{{
+			Label:  fmt.Sprintf("%s@%s", *name, experiments.RateName(rate)),
+			Tracer: cp.Telemetry,
+		}}
+		if *metrics {
+			rows := cp.Telemetry.Attribution(res.DurationNS, res.NumCores)
+			fmt.Println(report.AttributionTable("\nVirtual-time attribution", rows).Render())
+		}
+		if *tracOut != "" {
+			if err := teleout.WriteTrace(*tracOut, runs); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tmpprof: wrote trace %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *tracOut)
+		}
+		if *evtsOut != "" {
+			if err := teleout.WriteEvents(*evtsOut, runs); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	if *heat {
 		s := experiments.NewSuite(opts)
 		// Reuse the capture we already have when rates match.
@@ -96,6 +137,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tmpprof: -heatmap renders at the 4x rate; rerun with -rate 4x")
 		}
 	}
+
+	if *memProf != "" {
+		if err := teleout.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func parseRate(s string) (int, error) {
@@ -107,7 +154,7 @@ func parseRate(s string) (int, error) {
 	case "8x":
 		return ibs.Rate8x, nil
 	default:
-		return 0, fmt.Errorf("tmpprof: unknown rate %q (default, 4x, 8x)", s)
+		return 0, fmt.Errorf("unknown rate %q (default, 4x, 8x)", s)
 	}
 }
 

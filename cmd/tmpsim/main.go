@@ -24,8 +24,11 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/emul"
 	"tieredmem/internal/policy"
+	"tieredmem/internal/report"
 	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
+	"tieredmem/internal/telemetry"
+	"tieredmem/internal/teleout"
 	"tieredmem/internal/workload"
 )
 
@@ -41,8 +44,22 @@ func main() {
 		period   = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
 		useEmul  = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for the baseline/placement arms (1 = sequential; output is identical)")
+		tracOut  = flag.String("trace", "", "write a Chrome trace_viewer JSON (virtual-time flamegraph; open in chrome://tracing or Perfetto)")
+		evtsOut  = flag.String("events", "", "write the structured JSONL event log")
+		metrics  = flag.Bool("metrics", false, "print per-subsystem virtual-time attribution tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of this process")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile of this process")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := teleout.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	traceOn := *tracOut != "" || *evtsOut != "" || *metrics
 
 	m, err := parseMethod(*method)
 	if err != nil {
@@ -73,11 +90,21 @@ func main() {
 	// Each arm is a self-contained simulation (its own workload built
 	// from the seed), so the baseline and placement runs fan out on
 	// the runner pool; results come back in submission order and the
-	// printed report is byte-identical at any -parallel width.
+	// printed report is byte-identical at any -parallel width. Each arm
+	// owns a private tracer (never shared across goroutines), and the
+	// exported runs list follows submission order, so telemetry files
+	// are byte-identical at any width too.
+	var runs []telemetry.Labeled
 	arm := func(label string, p policy.Policy) runner.Job[sim.PlacementResult] {
+		var tr *telemetry.Tracer
+		if traceOn {
+			tr = telemetry.New()
+			runs = append(runs, telemetry.Labeled{Label: label, Tracer: tr})
+		}
 		return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
 			cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
 			cfg.EmulCosts = costs
+			cfg.Tracer = tr
 			return sim.RunPlacement(cfg, mk())
 		}}
 	}
@@ -98,22 +125,45 @@ func main() {
 	fmt.Printf("baseline (first-touch): duration=%.2fms hitrate=%.3f mem_accesses=%d\n",
 		float64(base.DurationNS)/1e6, base.Hitrate(), base.MemAccesses)
 
-	if pol == nil {
-		return
+	if pol != nil {
+		placed := results[1]
+		fmt.Fprintf(os.Stderr, "tmpsim: %d arms on %d workers: wall=%s busy=%s\n",
+			stats.Jobs, stats.Workers,
+			time.Duration(stats.WallNS).Round(time.Millisecond),
+			time.Duration(stats.BusyNS).Round(time.Millisecond))
+		fmt.Printf("%s: duration=%.2fms hitrate=%.3f promotions=%d demotions=%d\n",
+			placed.Arm, float64(placed.DurationNS)/1e6, placed.Hitrate(), placed.Promotions, placed.Demotions)
+		if costs != nil {
+			fmt.Printf("emulation: injected=%.2fms over %d protection faults\n",
+				float64(placed.EmulInjected)/1e6, placed.EmulFaults)
+		}
+		fmt.Printf("speedup over first-touch: %.3fx\n",
+			float64(base.DurationNS)/float64(placed.DurationNS))
 	}
-	placed := results[1]
-	fmt.Fprintf(os.Stderr, "tmpsim: %d arms on %d workers: wall=%s busy=%s\n",
-		stats.Jobs, stats.Workers,
-		time.Duration(stats.WallNS).Round(time.Millisecond),
-		time.Duration(stats.BusyNS).Round(time.Millisecond))
-	fmt.Printf("%s: duration=%.2fms hitrate=%.3f promotions=%d demotions=%d\n",
-		placed.Arm, float64(placed.DurationNS)/1e6, placed.Hitrate(), placed.Promotions, placed.Demotions)
-	if costs != nil {
-		fmt.Printf("emulation: injected=%.2fms over %d protection faults\n",
-			float64(placed.EmulInjected)/1e6, placed.EmulFaults)
+
+	if *metrics {
+		for i, r := range runs {
+			rows := r.Tracer.Attribution(results[i].DurationNS, results[i].NumCores)
+			tab := report.AttributionTable(fmt.Sprintf("\nVirtual-time attribution: %s", r.Label), rows)
+			fmt.Println(tab.Render())
+		}
 	}
-	fmt.Printf("speedup over first-touch: %.3fx\n",
-		float64(base.DurationNS)/float64(placed.DurationNS))
+	if *tracOut != "" {
+		if err := teleout.WriteTrace(*tracOut, runs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tmpsim: wrote trace %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *tracOut)
+	}
+	if *evtsOut != "" {
+		if err := teleout.WriteEvents(*evtsOut, runs); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProf != "" {
+		if err := teleout.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func parseMethod(s string) (core.Method, error) {

@@ -18,6 +18,7 @@ import (
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/pagetable"
+	"tieredmem/internal/telemetry"
 )
 
 // Config parameterizes the driver.
@@ -66,6 +67,26 @@ type Scanner struct {
 	disabled bool
 	nextScan int64
 	onLeaf   LeafObserver
+
+	// Telemetry (nil handles no-op when telemetry is off).
+	tel         *telemetry.Tracer
+	ctrScans    *telemetry.Counter
+	ctrPTEs     *telemetry.Counter
+	ctrPages    *telemetry.Counter
+	ctrHuge     *telemetry.Counter
+	ctrOverhead *telemetry.Counter
+}
+
+// SetTracer attaches the telemetry layer: every scan emits a
+// KindAbitScan span and syncs the abit/* counters. Record-only — scan
+// scheduling, costs, and results are unchanged.
+func (s *Scanner) SetTracer(t *telemetry.Tracer) {
+	s.tel = t
+	s.ctrScans = t.Counter("abit/scans")
+	s.ctrPTEs = t.Counter("abit/ptes_visited")
+	s.ctrPages = t.Counter("abit/pages_accessed")
+	s.ctrHuge = t.Counter("abit/huge_accessed")
+	s.ctrOverhead = t.Counter("abit/overhead_ns")
 }
 
 // New builds a scanner.
@@ -173,6 +194,12 @@ func (s *Scanner) Scan(now int64, pids []int) ScanResult {
 	s.stats.PagesAccessed += uint64(res.PagesAccessed)
 	s.stats.HugeAccessed += uint64(res.HugeAccessed)
 	s.stats.OverheadNS += res.CostNS
+	s.ctrScans.Set(s.stats.Scans)
+	s.ctrPTEs.Set(s.stats.PTEsVisited)
+	s.ctrPages.Set(s.stats.PagesAccessed)
+	s.ctrHuge.Set(s.stats.HugeAccessed)
+	s.ctrOverhead.Set(uint64(s.stats.OverheadNS))
+	s.tel.EmitAbitScan(now, res.CostNS, res.PTEsVisited, res.PagesAccessed, res.HugeAccessed)
 	return res
 }
 

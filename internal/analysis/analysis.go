@@ -124,6 +124,7 @@ func Analyzers() []*Analyzer {
 		EpochAccount,
 		FloatSum,
 		Exhaustive,
+		Telemetry,
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"tieredmem/internal/order"
 	"tieredmem/internal/pml"
 	"tieredmem/internal/pmu"
+	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
 )
 
@@ -164,6 +165,29 @@ type Profiler struct {
 	onSample func(s trace.Sample)
 
 	epoch int
+
+	// Telemetry (nil handles no-op when telemetry is off).
+	tel          *telemetry.Tracer
+	ctrTicks     *telemetry.Counter
+	ctrTickNS    *telemetry.Counter
+	ctrProfiled  *telemetry.Counter
+	ctrHarvested *telemetry.Counter
+}
+
+// SetTracer attaches the telemetry layer to the profiler and all of
+// its engines: daemon ticks and filter evaluations emit events here,
+// A-bit scans, IBS drains, and HWPC gate decisions in their engines,
+// and HarvestEpoch cuts the telemetry epoch. Record-only — the
+// profiler behaves identically with telemetry on or off.
+func (p *Profiler) SetTracer(t *telemetry.Tracer) {
+	p.tel = t
+	p.ctrTicks = t.Counter("daemon/ticks")
+	p.ctrTickNS = t.Counter("daemon/tick_ns")
+	p.ctrProfiled = t.Counter("daemon/profiled_pids")
+	p.ctrHarvested = t.Counter("sim/harvested_pages")
+	p.IBS.SetTracer(t)
+	p.Abit.SetTracer(t)
+	p.Monitor.SetTracer(t)
 }
 
 // New wires a profiler into a machine. usage may be nil, in which case
@@ -270,9 +294,19 @@ func (p *Profiler) Tick(now int64) {
 			p.nextFilter += p.cfg.FilterInterval
 		}
 		p.refilter()
+		p.tel.EmitFilter(now, len(p.profiled), len(p.registered))
 	}
 	if cost > 0 {
 		p.machine.Core(p.cfg.DaemonCore).AdvanceClock(cost)
+		// The tick span is the roll-up of everything the daemon core
+		// paid this pass (HWPC read + A-bit scan); the per-mechanism
+		// spans emitted by the engines break the same time down.
+		p.tel.EmitDaemonTick(now, cost)
+		if p.tel.Enabled() {
+			p.ctrTicks.Add(1)
+			p.ctrTickNS.AddNS(cost)
+			p.ctrProfiled.Set(uint64(len(p.profiled)))
+		}
 	}
 }
 
@@ -287,7 +321,7 @@ type EpochStats struct {
 // index. This is the profiler-policy interface: the policy engine sees
 // ranked pages, not monitoring detail.
 func (p *Profiler) HarvestEpoch() EpochStats {
-	p.IBS.Flush()
+	p.IBS.FlushAt(p.machine.Now())
 	if p.PML != nil {
 		p.PML.Flush()
 	}
@@ -307,6 +341,10 @@ func (p *Profiler) HarvestEpoch() EpochStats {
 	})
 	p.machine.Phys.ResetEpochAll()
 	p.epoch++
+	if p.tel.Enabled() {
+		p.ctrHarvested.Add(uint64(len(stats.Pages)))
+		p.tel.CutEpoch(p.machine.Now(), len(stats.Pages))
+	}
 	return stats
 }
 

@@ -13,9 +13,11 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 	"tieredmem/internal/pmu"
 	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
+	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
 )
@@ -51,6 +53,10 @@ type Options struct {
 	// stats (per-job wall time, queue delay, pool speedup) after its
 	// cells complete.
 	OnRunnerStats func(experiment string, s runner.Stats)
+	// Trace attaches a private telemetry tracer to every profiling run.
+	// Telemetry is inert (results are byte-identical either way); the
+	// recorded streams come back via Capture.Telemetry / Suite.Traces.
+	Trace bool
 }
 
 // DefaultOptions returns the laptop-scale defaults used by tests and
@@ -124,6 +130,12 @@ type Capture struct {
 
 	// Physical address-space bound for heatmap axes.
 	PhysBytes uint64
+
+	// Telemetry is the run's private tracer when Options.Trace was set
+	// (nil otherwise). Private per capture: parallel cells never share
+	// a tracer, which is what keeps exported streams byte-identical at
+	// any pool width.
+	Telemetry *telemetry.Tracer
 }
 
 // Profile runs TMP over one workload at a sampling rate and captures
@@ -136,6 +148,9 @@ func Profile(opts Options, name string, rate int) (*Capture, error) {
 	period := ibs.PeriodForRate(opts.BasePeriod, rate)
 	cfg := sim.DefaultConfig(w, period, opts.Refs)
 	cfg.TMP.Gating = opts.Gating
+	if opts.Trace {
+		cfg.Tracer = telemetry.New()
+	}
 	r, err := sim.New(cfg, w)
 	if err != nil {
 		return nil, err
@@ -147,6 +162,7 @@ func Profile(opts Options, name string, rate int) (*Capture, error) {
 		AbitPages: make(map[core.PageKey]struct{}),
 		IBSPages:  make(map[core.PageKey]struct{}),
 		PhysBytes: uint64(r.Machine.Phys.TotalFrames()) << mem.PageShift,
+		Telemetry: cfg.Tracer,
 	}
 	r.Profiler.Abit.SetLeafObserver(func(now int64, pid int, vpn mem.VPN, pfn mem.PFN, huge bool) {
 		cp.AbitPages[core.PageKey{PID: pid, VPN: vpn}] = struct{}{}
@@ -223,6 +239,40 @@ func (s *Suite) Capture(name string, rate int) (*Capture, error) {
 	// the same cell share one run.
 	e.once.Do(func() { e.cp, e.err = Profile(s.Opts, name, rate) })
 	return e.cp, e.err
+}
+
+// Captures returns every successfully profiled capture in sorted
+// cache-key order — a deterministic order no matter which workers
+// profiled which cells.
+func (s *Suite) Captures() []*Capture {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Capture
+	for _, key := range order.SortedKeys(s.captures) {
+		if e := s.captures[key]; e.cp != nil {
+			out = append(out, e.cp)
+		}
+	}
+	return out
+}
+
+// Label names a capture the way exports do.
+func (c *Capture) Label() string {
+	return fmt.Sprintf("%s@%s", c.Workload, RateName(c.Rate))
+}
+
+// Traces returns every cached capture's telemetry stream, labeled
+// "workload@rate" in Captures order, so exports built from it are
+// byte-identical at any Parallel setting.
+func (s *Suite) Traces() []telemetry.Labeled {
+	var out []telemetry.Labeled
+	for _, cp := range s.Captures() {
+		if cp.Telemetry == nil {
+			continue
+		}
+		out = append(out, telemetry.Labeled{Label: cp.Label(), Tracer: cp.Telemetry})
+	}
+	return out
 }
 
 // Warm profiles every (workload, rate) cell on the worker pool, so a

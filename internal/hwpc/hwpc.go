@@ -12,6 +12,7 @@ import (
 
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/pmu"
+	"tieredmem/internal/telemetry"
 )
 
 // Config parameterizes the monitor.
@@ -69,6 +70,23 @@ type Monitor struct {
 	lastBWValid     bool
 	LastWindowBytes uint64
 	PeakWindowBytes uint64
+
+	// Telemetry (nil handles no-op when telemetry is off).
+	tel         *telemetry.Tracer
+	ctrReads    *telemetry.Counter
+	ctrToggles  *telemetry.Counter
+	ctrOverhead *telemetry.Counter
+}
+
+// SetTracer attaches the telemetry layer: every gate transition emits
+// a KindGate event carrying the windowed count, the running maximum,
+// and the threshold in basis points — the ≥20%-of-peak evidence behind
+// each open/close decision. Record-only.
+func (mo *Monitor) SetTracer(t *telemetry.Tracer) {
+	mo.tel = t
+	mo.ctrReads = t.Counter("hwpc/reads")
+	mo.ctrToggles = t.Counter("hwpc/toggles")
+	mo.ctrOverhead = t.Counter("hwpc/overhead_ns")
 }
 
 // New builds a monitor over a machine.
@@ -143,6 +161,8 @@ func (mo *Monitor) TickIfDue(now int64) (int64, bool) {
 		if wantActive != g.active {
 			g.active = wantActive
 			g.toggles++
+			mo.tel.EmitGate(now, g.event.String(), wantActive, delta, g.maxDelta,
+				uint64(mo.cfg.Threshold*10000+0.5))
 			if g.target != nil {
 				if wantActive {
 					g.target.Enable()
@@ -151,6 +171,15 @@ func (mo *Monitor) TickIfDue(now int64) (int64, bool) {
 				}
 			}
 		}
+	}
+	if mo.tel.Enabled() {
+		var toggles uint64
+		for _, g := range mo.gauges {
+			toggles += g.toggles
+		}
+		mo.ctrReads.Set(mo.Reads)
+		mo.ctrToggles.Set(toggles)
+		mo.ctrOverhead.Set(uint64(mo.OverheadNS))
 	}
 	return readCost, true
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"tieredmem/internal/mem"
+	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
 )
 
@@ -129,6 +130,36 @@ type Engine struct {
 	onAcc func(s trace.Sample, pd *mem.PageDescriptor)
 
 	drainBuf []trace.Sample
+
+	// Telemetry (nil handles no-op when telemetry is off). lastNow is
+	// the virtual timestamp of the last sample considered, which
+	// stamps drain events: a threshold-triggered drain happens at the
+	// push that crossed the threshold. Epoch flushes advance it to the
+	// harvest time via FlushAt so the event stream stays time-ordered.
+	tel         *telemetry.Tracer
+	lastNow     int64
+	lastDropped uint64
+	ctrTagged   *telemetry.Counter
+	ctrDeliv    *telemetry.Counter
+	ctrFiltC    *telemetry.Counter
+	ctrFiltP    *telemetry.Counter
+	ctrDrains   *telemetry.Counter
+	ctrDropped  *telemetry.Counter
+	ctrOverhead *telemetry.Counter
+}
+
+// SetTracer attaches the telemetry layer: drains emit KindIBSDrain
+// events carrying delivered and ring-overrun-dropped sample counts,
+// and the ibs/* counters sync at each drain. Record-only.
+func (e *Engine) SetTracer(t *telemetry.Tracer) {
+	e.tel = t
+	e.ctrTagged = t.Counter("ibs/tagged_ops")
+	e.ctrDeliv = t.Counter("ibs/delivered")
+	e.ctrFiltC = t.Counter("ibs/filtered_cache")
+	e.ctrFiltP = t.Counter("ibs/filtered_prefetch")
+	e.ctrDrains = t.Counter("ibs/drains")
+	e.ctrDropped = t.Counter("ibs/dropped")
+	e.ctrOverhead = t.Counter("ibs/overhead_ns")
 }
 
 // New builds an engine. phys may be nil if no accumulation hook is
@@ -213,6 +244,7 @@ func (e *Engine) ObserveRetire(o *trace.Outcome, ops int) int64 {
 }
 
 func (e *Engine) recordSample(o *trace.Outcome) {
+	e.lastNow = o.Now
 	e.stats.MemorySamples++
 	if e.cfg.MemoryOnly && !o.Source.IsMemory() {
 		e.stats.FilteredCache++
@@ -237,6 +269,20 @@ func (e *Engine) drain() {
 		cost += e.cfg.PerSampleCost
 	}
 	e.stats.OverheadNS += cost
+	if e.tel.Enabled() {
+		dropped := e.ring.Dropped() - e.lastDropped
+		e.lastDropped = e.ring.Dropped()
+		if len(e.drainBuf) > 0 || dropped > 0 {
+			e.tel.EmitIBSDrain(e.lastNow, cost, len(e.drainBuf), dropped)
+		}
+		e.ctrTagged.Set(e.stats.TaggedOps)
+		e.ctrDeliv.Set(e.stats.Delivered)
+		e.ctrFiltC.Set(e.stats.FilteredCache)
+		e.ctrFiltP.Set(e.stats.FilteredPrefix)
+		e.ctrDrains.Set(e.stats.Drains)
+		e.ctrDropped.Set(e.ring.Dropped())
+		e.ctrOverhead.Set(uint64(e.stats.OverheadNS))
+	}
 	if e.onAcc == nil {
 		return
 	}
@@ -252,6 +298,16 @@ func (e *Engine) drain() {
 
 // Flush drains any buffered samples immediately (end of epoch).
 func (e *Engine) Flush() { e.drain() }
+
+// FlushAt is Flush with the caller's current virtual time: the drain
+// event is stamped at the flush rather than at the last buffered
+// sample, keeping the telemetry stream time-ordered across subsystems.
+func (e *Engine) FlushAt(now int64) {
+	if now > e.lastNow {
+		e.lastNow = now
+	}
+	e.drain()
+}
 
 // DrainInto moves buffered samples into dst without running the
 // accumulation hook; for tools that want raw records.

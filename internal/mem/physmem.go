@@ -3,6 +3,8 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"tieredmem/internal/telemetry"
 )
 
 // ErrOutOfMemory is returned when a tier (and any spill target) has no
@@ -67,6 +69,23 @@ type tierState struct {
 type PhysMem struct {
 	tiers []tierState
 	pds   []PageDescriptor
+
+	// Telemetry counters; nil (free no-ops) when telemetry is off.
+	ctrAlloc     *telemetry.Counter
+	ctrAllocHuge *telemetry.Counter
+	ctrFree      *telemetry.Counter
+	ctrSpill     *telemetry.Counter
+}
+
+// SetTracer wires the allocator's telemetry counters: frames claimed
+// and freed, huge allocations, and spill allocations (fast tier full,
+// frame taken from a slower tier). Counting only — allocation
+// decisions are never affected.
+func (pm *PhysMem) SetTracer(t *telemetry.Tracer) {
+	pm.ctrAlloc = t.Counter("mem/alloc_frames")
+	pm.ctrAllocHuge = t.Counter("mem/alloc_huge")
+	pm.ctrFree = t.Counter("mem/free_frames")
+	pm.ctrSpill = t.Counter("mem/spill_frames")
 }
 
 // NewPhysMem lays the tiers out back to back in a single PFN space
@@ -156,6 +175,7 @@ func (pm *PhysMem) claim(ts *tierState, local int, pid int, vpn VPN) PFN {
 	pd.AbitTotal, pd.TraceTotal = 0, 0
 	pd.AbitEpoch, pd.TraceEpoch = 0, 0
 	pd.TrueTotal, pd.TrueEpoch = 0, 0
+	pm.ctrAlloc.Add(1)
 	return pfn
 }
 
@@ -185,6 +205,9 @@ func (pm *PhysMem) allocIn(ti int, pid int, vpn VPN) (PFN, bool) {
 func (pm *PhysMem) Alloc(t TierID, pid int, vpn VPN) (PFN, error) {
 	for ti := int(t); ti < len(pm.tiers); ti++ {
 		if pfn, ok := pm.allocIn(ti, pid, vpn); ok {
+			if ti != int(t) {
+				pm.ctrSpill.Add(1)
+			}
 			return pfn, nil
 		}
 	}
@@ -217,11 +240,13 @@ func (pm *PhysMem) AllocHuge(t TierID, pid int, vpnBase VPN) (PFN, error) {
 		}
 		exhausted = false
 		if pfn, ok := pm.allocHugeIn(ts, pid, vpnBase, ts.hugeCur); ok {
+			pm.ctrAllocHuge.Add(1)
 			return pfn, nil
 		}
 		// Wrap once: retry from the top of the tier.
 		if ts.hugeCur != len(ts.free) {
 			if pfn, ok := pm.allocHugeIn(ts, pid, vpnBase, len(ts.free)); ok {
+				pm.ctrAllocHuge.Add(1)
 				return pfn, nil
 			}
 		}
@@ -274,6 +299,7 @@ func (pm *PhysMem) Free(pfn PFN) {
 	ts.free[local] = true
 	ts.freeCount++
 	ts.inUse--
+	pm.ctrFree.Add(1)
 }
 
 // FreeHuge releases all 512 frames of a huge allocation.

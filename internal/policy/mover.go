@@ -7,6 +7,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/telemetry"
 )
 
 // Mover implements the paper's §IV step 3: it physically relocates
@@ -40,6 +41,30 @@ type Mover struct {
 	Failed     uint64 // migrations skipped (capacity or vanished mapping)
 
 	charged int64 // portion of OverheadNS already charged to MoverCore
+
+	// Telemetry (nil handles no-op when telemetry is off).
+	tel          *telemetry.Tracer
+	ctrPromote   *telemetry.Counter
+	ctrDemote    *telemetry.Counter
+	ctrSplits    *telemetry.Counter
+	ctrShootdown *telemetry.Counter
+	ctrFailed    *telemetry.Counter
+	ctrOverhead  *telemetry.Counter
+}
+
+// SetTracer attaches the telemetry layer: each successful migration
+// emits a KindMigration instant, the per-epoch batch shootdown a
+// KindShootdown span, and the mover/* counters sync after every
+// ApplySelection. Record-only — selection and migration order are
+// unchanged.
+func (mv *Mover) SetTracer(t *telemetry.Tracer) {
+	mv.tel = t
+	mv.ctrPromote = t.Counter("mover/promotions")
+	mv.ctrDemote = t.Counter("mover/demotions")
+	mv.ctrSplits = t.Counter("mover/splits")
+	mv.ctrShootdown = t.Counter("mover/shootdowns")
+	mv.ctrFailed = t.Counter("mover/failed")
+	mv.ctrOverhead = t.Counter("mover/overhead_ns")
 }
 
 // NewMover builds a mover with the paper's 50 us per-page cost.
@@ -149,6 +174,7 @@ func (mv *Mover) ApplySelection(sel Selection, ranks map[core.PageKey]uint64) (i
 			continue
 		}
 		demoted++
+		mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), false)
 	}
 	for _, key := range promote {
 		if phys.FreeFrames(mem.FastTier) == 0 {
@@ -160,6 +186,7 @@ func (mv *Mover) ApplySelection(sel Selection, ranks map[core.PageKey]uint64) (i
 			continue
 		}
 		promoted++
+		mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), true)
 	}
 	mv.Promotions += uint64(promoted)
 	mv.Demotions += uint64(demoted)
@@ -169,9 +196,18 @@ func (mv *Mover) ApplySelection(sel Selection, ranks map[core.PageKey]uint64) (i
 		cost := mv.machine.FlushAllTLBs()
 		mv.Shootdowns++
 		mv.OverheadNS += cost
+		mv.tel.EmitShootdown(mv.machine.Now(), cost, promoted+demoted)
 	}
 	if mv.OverheadNS > 0 {
 		mv.machine.Core(mv.MoverCore).AdvanceClock(mv.chargeDelta())
+	}
+	if mv.tel.Enabled() {
+		mv.ctrPromote.Set(mv.Promotions)
+		mv.ctrDemote.Set(mv.Demotions)
+		mv.ctrSplits.Set(mv.Splits)
+		mv.ctrShootdown.Set(mv.Shootdowns)
+		mv.ctrFailed.Set(mv.Failed)
+		mv.ctrOverhead.Set(uint64(mv.OverheadNS))
 	}
 	return promoted, demoted
 }

@@ -1,0 +1,33 @@
+package report
+
+import "fmt"
+
+// AttributionRow is one subsystem's share of a run's virtual time, as
+// produced by the telemetry layer: how many events it emitted, how
+// much virtual time its spans covered, and that time as a fraction of
+// aggregate core time. The rows arrive pre-ordered (subsystem
+// presentation order), so rendering them is deterministic.
+type AttributionRow struct {
+	Subsystem string
+	Events    uint64
+	VirtualNS int64
+	// Share is VirtualNS over duration × cores; negative means the
+	// producer had no core-time denominator.
+	Share float64
+}
+
+// AttributionTable renders per-subsystem virtual-time attribution as
+// an aligned table: the "where did the run's virtual time go" view the
+// overhead experiments quote per mechanism, generalized to every
+// instrumented subsystem.
+func AttributionTable(title string, rows []AttributionRow) *Table {
+	t := NewTable(title, "subsystem", "events", "virtual_ns", "core_time_pct")
+	for _, r := range rows {
+		share := "n/a"
+		if r.Share >= 0 {
+			share = fmt.Sprintf("%.4f%%", r.Share*100)
+		}
+		t.AddRow(r.Subsystem, r.Events, r.VirtualNS, share)
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+package runner
+
+import (
+	"fmt"
+
+	"tieredmem/internal/telemetry"
+)
+
+// RecordStats publishes one Run call's pool statistics into a
+// telemetry registry under "runner/<name>/...". These are host-side
+// wall-clock measurements (queue delays, real run times) and are
+// inherently nondeterministic — which is why they go into a registry
+// the caller keeps SEPARATE from any virtual-time tracer: merging them
+// into the deterministic event stream would break the parallel
+// byte-identity contract. cmd/tmpbench surfaces this registry behind
+// -metrics.
+func RecordStats(reg *telemetry.Registry, name string, s Stats) {
+	if reg == nil {
+		return
+	}
+	prefix := "runner/" + name
+	reg.Counter(prefix + "/jobs").Set(uint64(s.Jobs))
+	reg.Counter(prefix + "/workers").Set(uint64(s.Workers))
+	reg.Counter(prefix + "/wall_ns").Set(uint64(s.WallNS))
+	reg.Counter(prefix + "/busy_ns").Set(uint64(s.BusyNS))
+	reg.Counter(prefix + "/queue_ns").Set(uint64(s.QueueNS))
+	for i := range s.PerJob {
+		js := &s.PerJob[i]
+		jp := fmt.Sprintf("%s/job/%s", prefix, js.Name)
+		reg.Counter(jp + "/wall_ns").Set(uint64(js.WallNS))
+		reg.Counter(jp + "/queue_ns").Set(uint64(js.QueueNS))
+	}
+}

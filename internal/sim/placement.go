@@ -8,6 +8,7 @@ import (
 	"tieredmem/internal/emul"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
+	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
 )
@@ -40,6 +41,10 @@ type PlacementConfig struct {
 	// migrations are periodically repaired so the address space does
 	// not degrade to 4 KiB translations for the rest of the run.
 	Khugepaged bool
+	// Tracer, when non-nil, records structured telemetry for the run
+	// (events, counters). Telemetry is inert: results are byte-identical
+	// with or without it.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultPlacementConfig mirrors DefaultConfig for placement runs.
@@ -129,6 +134,13 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 			prof.Register(pid)
 		}
 		mover = policy.NewMover(m)
+		if cfg.Tracer.Enabled() {
+			prof.SetTracer(cfg.Tracer)
+			mover.SetTracer(cfg.Tracer)
+		}
+	}
+	if cfg.Tracer.Enabled() {
+		m.Phys.SetTracer(cfg.Tracer)
 	}
 	var collapser *policy.Collapser
 	if cfg.Khugepaged && cfg.Huge {
@@ -201,6 +213,10 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 				}
 			} else {
 				m.Phys.ResetEpochAll()
+				// The baseline arm has no profiler to cut telemetry
+				// epochs; cut here so its counter deltas stay aligned
+				// to the same horizons as the policy arms.
+				cfg.Tracer.CutEpoch(now, 0)
 			}
 			if collapser != nil {
 				// khugepaged cadence: repair a couple of split

@@ -11,6 +11,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
 )
@@ -34,6 +35,10 @@ type Config struct {
 	// Usage supplies per-PID resource shares to the TMP daemon's
 	// process filter; nil profiles every registered process.
 	Usage core.UsageFunc
+	// Tracer, when non-nil, records structured telemetry for the run
+	// (events, counters). Telemetry is inert: results are byte-identical
+	// with or without it.
+	Tracer *telemetry.Tracer
 }
 
 // ScaledSecond is the laptop-scale equivalent of one testbed second:
@@ -137,6 +142,10 @@ func New(cfg Config, w workload.Workload) (*Runner, error) {
 	prof, err := core.New(cfg.TMP, m, cfg.Usage)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Tracer.Enabled() {
+		m.Phys.SetTracer(cfg.Tracer)
+		prof.SetTracer(cfg.Tracer)
 	}
 	for _, pid := range w.Processes() {
 		prof.Register(pid)

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tieredmem/internal/report"
+)
+
+// update rewrites the goldens instead of comparing against them:
+//
+//	go test ./internal/telemetry -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata goldens")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\ngot:\n%s\nwant:\n%s\n(run `go test ./internal/telemetry -run Golden -update` if the change is intended)",
+			name, got, string(want))
+	}
+}
+
+// fixtureTracer replays one small deterministic run exercising every
+// event kind, counter deltas across two epoch cuts, and a second
+// labeled run for the multi-run export shapes.
+func fixtureTracer() *Tracer {
+	tr := New()
+	alloc := tr.Counter("mem/alloc_frames")
+	alloc.Add(128)
+	tr.Counter("mem/alloc_huge").Add(2)
+	tr.EmitDaemonTick(1_000, 50)
+	tr.Counter("daemon/ticks").Add(1)
+	tr.Counter("daemon/tick_ns").AddNS(50)
+	tr.EmitAbitScan(1_500, 400, 512, 37, 2)
+	tr.Counter("abit/overhead_ns").AddNS(400)
+	tr.EmitIBSDrain(1_800, 120, 3, 1)
+	tr.Counter("ibs/overhead_ns").AddNS(120)
+	tr.EmitGate(2_000, "llc_miss", false, 10, 100, 2000)
+	tr.EmitMigration(2_500, 101, 0x2000, true)
+	tr.EmitShootdown(2_600, 900, 1)
+	tr.Counter("mover/overhead_ns").AddNS(900)
+	tr.EmitFilter(2_700, 1, 2)
+	tr.CutEpoch(3_000, 5)
+	alloc.Add(7)
+	tr.EmitDaemonTick(3_500, 25)
+	tr.EmitGate(3_600, "llc_miss", true, 90, 100, 2000)
+	tr.CutEpoch(4_000, 2)
+	return tr
+}
+
+func fixtureRuns() []Labeled {
+	second := New()
+	second.Counter("mem/alloc_frames").Add(16)
+	second.EmitAbitScan(700, 80, 64, 9, 0)
+	second.CutEpoch(1_000, 9)
+	return []Labeled{
+		{Label: "gups@4x", Tracer: fixtureTracer()},
+		{Label: "xsbench@4x", Tracer: second},
+	}
+}
+
+func TestGoldenJSONL(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, fixtureRuns()); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got := b.String()
+	// Every line must be standalone valid JSON: the format contract
+	// that makes the log greppable and jq-able.
+	for i, line := range bytes.Split(b.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			t.Errorf("line %d is not valid JSON: %s", i+1, line)
+		}
+	}
+	checkGolden(t, "events_jsonl", got)
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, fixtureRuns()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("chrome trace is not valid JSON:\n%s", b.String())
+	}
+	// trace_viewer / Perfetto load the traceEvents array; require the
+	// documented envelope rather than trusting the golden alone.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	checkGolden(t, "chrome_trace", b.String())
+}
+
+func TestGoldenAttributionTable(t *testing.T) {
+	tr := fixtureTracer()
+	rows := tr.Attribution(4_000, 4)
+	checkGolden(t, "attribution_table",
+		report.AttributionTable("Fixture attribution", rows).Render())
+}
+
+func TestGoldenAttributionNoDenominator(t *testing.T) {
+	rows := fixtureTracer().Attribution(0, 0)
+	checkGolden(t, "attribution_na",
+		report.AttributionTable("Fixture attribution (no cores)", rows).Render())
+}

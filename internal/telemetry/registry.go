@@ -1,0 +1,146 @@
+package telemetry
+
+import "tieredmem/internal/order"
+
+// Counter is one monotonically increasing telemetry counter. The nil
+// Counter is a valid no-op (handed out by a nil Registry), so emit
+// sites cache handles once and Add unconditionally. Counter names
+// follow "<subsystem>/<metric>[_ns]": the prefix is the attribution
+// subsystem, and the _ns suffix marks virtual-time counters.
+type Counter struct {
+	name string
+	v    uint64
+	// lastCut is the value at the previous epoch cut; cutEpoch uses it
+	// to derive per-epoch deltas.
+	lastCut uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// AddNS increments a virtual-time counter, ignoring negative costs.
+func (c *Counter) AddNS(ns int64) {
+	if c == nil || ns <= 0 {
+		return
+	}
+	c.v += uint64(ns)
+}
+
+// Set overwrites the counter with an absolute value; engines that
+// already keep cumulative stats sync them in at emit points instead of
+// double-counting.
+func (c *Counter) Set(v uint64) {
+	if c == nil {
+		return
+	}
+	c.v = v
+}
+
+// Value returns the counter's cumulative value.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Registry is a set of named counters with stable, sorted iteration —
+// a map walk through it can never reintroduce the nondeterminism the
+// maprange analyzer exists to catch. The zero value is ready to use;
+// a nil *Registry hands out nil Counters so disabled telemetry costs
+// nothing.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Names returns all registered counter names in ascending order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	return order.SortedKeys(r.counters)
+}
+
+// Sorted returns all counters in ascending name order.
+func (r *Registry) Sorted() []*Counter {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Counter, 0, len(r.counters))
+	for _, name := range order.SortedKeys(r.counters) {
+		out = append(out, r.counters[name])
+	}
+	return out
+}
+
+// CounterValue is one (name, value) pair in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// EpochCounters is the per-epoch counter aggregation: every counter's
+// delta across one epoch, sorted by name, zero deltas omitted.
+type EpochCounters struct {
+	Epoch int
+	Now   int64 // virtual time of the cut
+	// Deltas holds each counter's increase during the epoch.
+	Deltas []CounterValue
+}
+
+// cutEpoch snapshots every counter's delta since the previous cut.
+func (r *Registry) cutEpoch(epoch int, now int64) EpochCounters {
+	ec := EpochCounters{Epoch: epoch, Now: now}
+	for _, name := range order.SortedKeys(r.counters) {
+		c := r.counters[name]
+		if d := c.v - c.lastCut; d != 0 {
+			ec.Deltas = append(ec.Deltas, CounterValue{Name: name, Value: d})
+			c.lastCut = c.v
+		}
+	}
+	return ec
+}
+
+// Totals returns every counter's cumulative value, sorted by name,
+// zeros omitted.
+func (r *Registry) Totals() []CounterValue {
+	if r == nil {
+		return nil
+	}
+	out := make([]CounterValue, 0, len(r.counters))
+	for _, name := range order.SortedKeys(r.counters) {
+		if v := r.counters[name].v; v != 0 {
+			out = append(out, CounterValue{Name: name, Value: v})
+		}
+	}
+	return out
+}

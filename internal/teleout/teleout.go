@@ -1,0 +1,77 @@
+// Package teleout is the thin file-output layer the CLIs share for
+// telemetry artifacts: Chrome trace_viewer JSON, JSONL event logs, and
+// runtime pprof profiles. It exists so cmd/tmpsim, cmd/tmpprof, and
+// cmd/tmpbench wire the same flags to the same bytes — the exporters
+// themselves live in internal/telemetry and stay IO-free.
+package teleout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"tieredmem/internal/telemetry"
+)
+
+// WriteTrace writes a Chrome trace_viewer / Perfetto loadable JSON
+// file for the labeled runs.
+func WriteTrace(path string, runs []telemetry.Labeled) error {
+	return writeWith(path, runs, telemetry.WriteChromeTrace)
+}
+
+// WriteEvents writes the JSONL event log for the labeled runs.
+func WriteEvents(path string, runs []telemetry.Labeled) error {
+	return writeWith(path, runs, telemetry.WriteJSONL)
+}
+
+func writeWith(path string, runs []telemetry.Labeled, write func(w io.Writer, runs []telemetry.Labeled) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartCPUProfile begins a pprof CPU profile; the returned stop
+// function ends it and closes the file.
+func StartCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("teleout: starting cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes an allocs-space heap profile after a final GC,
+// the shape `go tool pprof` expects from -memprofile flags.
+func WriteMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("teleout: writing mem profile: %w", err)
+	}
+	return f.Close()
+}
