@@ -14,6 +14,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/experiments"
 	"tieredmem/internal/ibs"
+	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/trace"
@@ -373,6 +374,116 @@ func BenchmarkColocationFilter(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + experiments.RenderColocation(res))
 		}
+	}
+}
+
+// --- Hot-path micro-benchmarks (PERFORMANCE.md) ---------------------
+//
+// These pin the per-epoch aggregation/ranking costs that dominate the
+// single-cell experiment path. Run with -benchmem: the CI
+// bench-compare job diffs them against the merge base and fails on an
+// allocs/op regression in the steady-state harvest.
+
+// hotPathEpochs builds synthetic harvests with an overlapping,
+// tie-heavy key space: pages shift by 1/8 of the footprint per epoch,
+// ranks repeat modulo small primes, tiers alternate.
+func hotPathEpochs(epochs, pagesPer int) []core.EpochStats {
+	out := make([]core.EpochStats, epochs)
+	for e := range out {
+		out[e].Epoch = e
+		out[e].Pages = make([]core.PageStat, pagesPer)
+		for i := range out[e].Pages {
+			vpn := mem.VPN((i + e*pagesPer/8) % (pagesPer * 2))
+			tier := mem.SlowTier
+			if i%3 == 0 {
+				tier = mem.FastTier
+			}
+			out[e].Pages[i] = core.PageStat{
+				Key:   core.PageKey{PID: 100 + i%4, VPN: vpn},
+				Tier:  tier,
+				Abit:  uint32(i % 7),
+				Trace: uint32(i % 11),
+				Write: uint32(i % 3),
+				True:  uint32(i % 5),
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkSumEpochs measures the dense cross-epoch merge (32 epochs
+// of 4 Ki pages, heavily overlapping keys).
+func BenchmarkSumEpochs(b *testing.B) {
+	epochs := hotPathEpochs(32, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SumEpochs(epochs)
+	}
+}
+
+// BenchmarkRankedPages measures the full canonical sort of a large
+// merged harvest.
+func BenchmarkRankedPages(b *testing.B) {
+	stats := core.SumEpochs(hotPathEpochs(8, 16384))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankedPages(stats, core.MethodCombined)
+	}
+}
+
+// BenchmarkTopK measures bounded selection at policy-sized capacities
+// over the same harvest BenchmarkRankedPages fully sorts.
+func BenchmarkTopK(b *testing.B) {
+	stats := core.SumEpochs(hotPathEpochs(8, 16384))
+	for _, k := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.TopK(stats, core.MethodCombined, k)
+			}
+		})
+	}
+}
+
+// BenchmarkRanksOf measures building the mover's dense hotness table.
+func BenchmarkRanksOf(b *testing.B) {
+	stats := core.SumEpochs(hotPathEpochs(8, 16384))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RanksOf(stats, core.MethodCombined)
+	}
+}
+
+// BenchmarkHarvestSteadyState measures the recycled-scratch harvest
+// the placement loop runs every epoch. The contract is 0 allocs/op
+// once the scratch has grown to the working set; the bench-compare CI
+// job fails the build if this regresses.
+func BenchmarkHarvestSteadyState(b *testing.B) {
+	w := workload.MustNew("gups", workload.Config{Seed: 2, FirstPID: 100})
+	cfg := sim.DefaultConfig(w, 4096, 1)
+	r, err := sim.New(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]trace.Ref, 4096)
+	w.Fill(buf)
+	for j := range buf {
+		if _, err := r.Machine.Execute(buf[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ep core.EpochStats
+	r.Profiler.HarvestEpochInto(&ep) // grow the scratch once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Refresh per-epoch evidence directly; only the harvest itself
+		// is under measurement.
+		r.Machine.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) { pd.AbitEpoch = 1 })
+		r.Profiler.HarvestEpochInto(&ep)
 	}
 }
 

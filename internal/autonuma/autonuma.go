@@ -14,10 +14,12 @@ package autonuma
 import (
 	"fmt"
 
+	"sort"
+
 	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
-	"tieredmem/internal/order"
 	"tieredmem/internal/pagetable"
 	"tieredmem/internal/trace"
 )
@@ -68,8 +70,14 @@ type Scanner struct {
 	// passes cover the address space round-robin, like
 	// task_numa_work's mm->numa_scan_offset.
 	cursor map[int]mem.VPN
-	// counts accumulates per-page hint faults for the current epoch.
-	counts map[core.PageKey]uint32
+	// Per-page hint-fault accumulation for the current epoch, held
+	// dense: pages intern to stable ids once (the table persists
+	// across epochs — working sets recur) and faults bump a slice
+	// slot. active lists the ids touched this epoch so harvest zeroes
+	// only those instead of reallocating a map every epoch.
+	tab    *pageidx.Table[core.PageKey]
+	counts []uint32
+	active []uint32
 }
 
 // New installs the hint-fault handler and returns the scanner.
@@ -85,7 +93,7 @@ func New(cfg Config, m *cpu.Machine) (*Scanner, error) {
 		machine: m,
 		next:    cfg.Interval,
 		cursor:  make(map[int]mem.VPN),
-		counts:  make(map[core.PageKey]uint32),
+		tab:     pageidx.New(0, core.PageKeyHash),
 	}
 	m.SetHintFaultHandler(s.onHintFault)
 	return s, nil
@@ -94,10 +102,22 @@ func New(cfg Config, m *cpu.Machine) (*Scanner, error) {
 // onHintFault records the observation and charges the fault cost.
 func (s *Scanner) onHintFault(o *trace.Outcome, pd *mem.PageDescriptor) int64 {
 	s.stats.HintFaults++
-	s.counts[core.PageKey{PID: o.PID, VPN: mem.VPNOf(o.VAddr)}]++
+	s.bump(core.PageKey{PID: o.PID, VPN: mem.VPNOf(o.VAddr)})
 	cost := s.machine.SoftCost(s.cfg.FaultCost)
 	s.stats.OverheadNS += cost
 	return cost
+}
+
+// bump counts one hint fault against a page's dense slot.
+func (s *Scanner) bump(key core.PageKey) {
+	id := s.tab.Intern(key)
+	for int(id) >= len(s.counts) {
+		s.counts = append(s.counts, 0)
+	}
+	if s.counts[id] == 0 {
+		s.active = append(s.active, id)
+	}
+	s.counts[id]++
 }
 
 // Due reports whether a protection pass is due.
@@ -173,18 +193,23 @@ func (s *Scanner) Pass(pids []int) int64 {
 // the policy machinery can rank on it), and resets the accumulator.
 func (s *Scanner) HarvestEpoch(epoch int) core.EpochStats {
 	stats := core.EpochStats{Epoch: epoch}
-	for _, key := range order.SortedKeysFunc(s.counts, core.PageKeyLess) {
+	sort.Slice(s.active, func(i, j int) bool {
+		return core.PageKeyLess(s.tab.Key(s.active[i]), s.tab.Key(s.active[j]))
+	})
+	stats.Pages = make([]core.PageStat, 0, len(s.active))
+	for _, id := range s.active {
 		stats.Pages = append(stats.Pages, core.PageStat{
-			Key:  key,
-			Abit: s.counts[key],
+			Key:  s.tab.Key(id),
+			Abit: s.counts[id],
 		})
+		s.counts[id] = 0
 	}
-	s.counts = make(map[core.PageKey]uint32)
+	s.active = s.active[:0]
 	return stats
 }
 
 // DistinctPages returns how many pages the current epoch has observed.
-func (s *Scanner) DistinctPages() int { return len(s.counts) }
+func (s *Scanner) DistinctPages() int { return len(s.active) }
 
 // Stats returns a copy of the counters.
 func (s *Scanner) Stats() Stats { return s.stats }

@@ -18,11 +18,12 @@ package badgertrap
 
 import (
 	"fmt"
+	"sort"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
-	"tieredmem/internal/order"
 	"tieredmem/internal/pagetable"
 	"tieredmem/internal/trace"
 )
@@ -58,7 +59,14 @@ type Profiler struct {
 	cfg     Config
 	machine *cpu.Machine
 	stats   Stats
-	counts  map[core.PageKey]uint32
+	// Per-page fault counts for the current epoch, held dense: pages
+	// intern to stable ids once (the table persists across epochs —
+	// tracked footprints recur) and faults bump a slice slot. active
+	// lists the ids touched this epoch so harvest zeroes only those
+	// instead of reallocating a map every epoch.
+	tab    *pageidx.Table[core.PageKey]
+	counts []uint32
+	active []uint32
 }
 
 // New installs the poison-fault handler and returns the profiler. It
@@ -71,7 +79,7 @@ func New(cfg Config, m *cpu.Machine) (*Profiler, error) {
 	p := &Profiler{
 		cfg:     cfg,
 		machine: m,
-		counts:  make(map[core.PageKey]uint32),
+		tab:     pageidx.New(0, core.PageKeyHash),
 	}
 	m.SetPoisonHandler(p.onFault)
 	return p, nil
@@ -87,10 +95,29 @@ func New(cfg Config, m *cpu.Machine) (*Profiler, error) {
 // slowdowns; Thermostat samples ~0.5% of pages to stay usable).
 func (p *Profiler) onFault(o *trace.Outcome, pd *mem.PageDescriptor) (int64, bool) {
 	p.stats.Faults++
-	p.counts[core.PageKey{PID: o.PID, VPN: mem.VPNOf(o.VAddr)}]++
+	p.bump(core.PageKey{PID: o.PID, VPN: mem.VPNOf(o.VAddr)})
 	cost := p.cfg.FaultCost
 	p.stats.OverheadNS += cost
 	return cost, false
+}
+
+// bump counts one fault against a page's dense slot.
+func (p *Profiler) bump(key core.PageKey) {
+	id := p.tab.Intern(key)
+	for int(id) >= len(p.counts) {
+		p.counts = append(p.counts, 0)
+	}
+	if p.counts[id] == 0 {
+		p.active = append(p.active, id)
+	}
+	p.counts[id]++
+}
+
+// sortActive orders the epoch's touched ids canonically by page key.
+func (p *Profiler) sortActive() {
+	sort.Slice(p.active, func(i, j int) bool {
+		return core.PageKeyLess(p.tab.Key(p.active[i]), p.tab.Key(p.active[j]))
+	})
 }
 
 // Track poisons every present leaf PTE of the given processes and
@@ -137,10 +164,13 @@ func (p *Profiler) Untrack(pids []int) {
 // accumulator.
 func (p *Profiler) HarvestEpoch(epoch int) core.EpochStats {
 	stats := core.EpochStats{Epoch: epoch}
-	for _, key := range order.SortedKeysFunc(p.counts, core.PageKeyLess) {
-		stats.Pages = append(stats.Pages, core.PageStat{Key: key, Abit: p.counts[key]})
+	p.sortActive()
+	stats.Pages = make([]core.PageStat, 0, len(p.active))
+	for _, id := range p.active {
+		stats.Pages = append(stats.Pages, core.PageStat{Key: p.tab.Key(id), Abit: p.counts[id]})
+		p.counts[id] = 0
 	}
-	p.counts = make(map[core.PageKey]uint32)
+	p.active = p.active[:0]
 	return stats
 }
 
@@ -148,16 +178,17 @@ func (p *Profiler) HarvestEpoch(epoch int) core.EpochStats {
 // the Thermostat threshold.
 func (p *Profiler) HotPages() []core.PageKey {
 	var out []core.PageKey
-	for _, key := range order.SortedKeysFunc(p.counts, core.PageKeyLess) {
-		if p.counts[key] >= p.cfg.HotThreshold {
-			out = append(out, key)
+	p.sortActive()
+	for _, id := range p.active {
+		if p.counts[id] >= p.cfg.HotThreshold {
+			out = append(out, p.tab.Key(id))
 		}
 	}
 	return out
 }
 
 // DistinctPages returns how many pages have faulted this epoch.
-func (p *Profiler) DistinctPages() int { return len(p.counts) }
+func (p *Profiler) DistinctPages() int { return len(p.active) }
 
 // Stats returns a copy of the counters.
 func (p *Profiler) Stats() Stats { return p.stats }

@@ -1,0 +1,130 @@
+// Package pageidx provides the dense interning table behind the
+// profiler's aggregation spine. Per-page state in the hot path —
+// epoch sums, hotness ranks, truth attachment — used to live in
+// map[PageKey]PageStat tables that were rebuilt every epoch; pageidx
+// replaces them with a stable PageKey -> dense uint32 id assignment so
+// accumulation becomes a slice index instead of a map insert, and the
+// id space doubles as the index of any parallel []uint64 / []PageStat
+// column.
+//
+// The table is open-addressed (linear probing, power-of-two slots,
+// caller-supplied hash) rather than a Go map: one probe sequence both
+// finds an existing key and claims the insertion slot on a miss, and
+// the hot loop avoids the runtime map's per-call hashing interface.
+//
+// Determinism: ids are assigned in first-Intern order (append-only),
+// so the same observation stream always produces the same id
+// assignment — the hash only places keys in slots, it never orders
+// output. Consumers that need canonical (PID, VPN) output order sort
+// the ids once at emission time — never by iterating a table.
+package pageidx
+
+// Table interns keys of any comparable type into dense uint32 ids:
+// the first distinct key interned gets id 0, the next id 1, and so
+// on. The reverse mapping (id -> key) is an append-only slice, so
+// holding an id is as good as holding the key and a whole column of
+// per-key state can be a plain slice indexed by id.
+type Table[K comparable] struct {
+	hash  func(K) uint64
+	slots []uint32 // id+1 of the resident key; 0 marks an empty slot
+	mask  uint64   // len(slots)-1; len is always a power of two
+	keys  []K
+}
+
+// New returns a table with capacity preallocated for n distinct keys,
+// using hash to place keys in slots. hash must be a pure function of
+// the key; quality matters (clustered hashes degrade probing to
+// linear scans) but seeding does not — slot placement never leaks
+// into any output order.
+func New[K comparable](n int, hash func(K) uint64) *Table[K] {
+	if n < 0 {
+		n = 0
+	}
+	size := uint64(16)
+	// Size for load factor <= 1/2 at n keys.
+	for size < uint64(n)*2 {
+		size *= 2
+	}
+	return &Table[K]{
+		hash:  hash,
+		slots: make([]uint32, size),
+		mask:  size - 1,
+		keys:  make([]K, 0, n),
+	}
+}
+
+// Intern returns the dense id of k, assigning the next free id when k
+// has not been seen before.
+func (t *Table[K]) Intern(k K) uint32 {
+	i := t.hash(k) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			id := uint32(len(t.keys))
+			t.keys = append(t.keys, k)
+			t.slots[i] = id + 1
+			if uint64(len(t.keys))*2 > uint64(len(t.slots)) {
+				t.grow()
+			}
+			return id
+		}
+		if t.keys[s-1] == k {
+			return s - 1
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the slot array and rehashes every interned key; ids
+// are untouched.
+func (t *Table[K]) grow() {
+	size := uint64(len(t.slots)) * 2
+	t.slots = make([]uint32, size)
+	t.mask = size - 1
+	for id := range t.keys {
+		i := t.hash(t.keys[id]) & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = uint32(id) + 1
+	}
+}
+
+// Lookup returns the id of k without interning. It is safe on a nil
+// table (reporting not-found), so zero-value wrappers stay usable.
+func (t *Table[K]) Lookup(k K) (uint32, bool) {
+	if t == nil {
+		return 0, false
+	}
+	i := t.hash(k) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if t.keys[s-1] == k {
+			return s - 1, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Key returns the key assigned to id. It panics when id was never
+// assigned, like an out-of-range slice index.
+func (t *Table[K]) Key(id uint32) K { return t.keys[id] }
+
+// Len returns the number of distinct keys interned.
+func (t *Table[K]) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.keys)
+}
+
+// Reset forgets every assignment while keeping the allocated
+// capacity, so epoch-scoped tables can be recycled without churning
+// the allocator.
+func (t *Table[K]) Reset() {
+	clear(t.slots)
+	t.keys = t.keys[:0]
+}

@@ -1,0 +1,110 @@
+package pageidx
+
+import "testing"
+
+type key struct{ a, b int }
+
+// badHash maps everything to two buckets — probing and growth must
+// still produce correct assignments.
+func badHash(k key) uint64 { return uint64(k.a) & 1 }
+
+func goodHash(k key) uint64 {
+	x := uint64(k.a)*0x9E3779B97F4A7C15 + uint64(k.b)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+func TestInternAssignsDenseFirstSeenIDs(t *testing.T) {
+	tab := New(4, goodHash)
+	ks := []key{{2, 9}, {1, 1}, {2, 9}, {3, 3}, {1, 1}}
+	want := []uint32{0, 1, 0, 2, 1}
+	for i, k := range ks {
+		if id := tab.Intern(k); id != want[i] {
+			t.Errorf("Intern(%v) = %d, want %d", k, id, want[i])
+		}
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tab.Len())
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	tab := New(0, goodHash)
+	if _, ok := tab.Lookup(key{1, 2}); ok {
+		t.Fatal("Lookup found a never-interned key")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Lookup interned: Len = %d", tab.Len())
+	}
+	id := tab.Intern(key{1, 2})
+	got, ok := tab.Lookup(key{1, 2})
+	if !ok || got != id {
+		t.Errorf("Lookup = (%d, %v), want (%d, true)", got, ok, id)
+	}
+}
+
+func TestKeyReversesIntern(t *testing.T) {
+	tab := New(2, goodHash)
+	for i := 0; i < 5; i++ {
+		k := key{i, i * i}
+		if got := tab.Key(tab.Intern(k)); got != k {
+			t.Errorf("Key(Intern(%v)) = %v", k, got)
+		}
+	}
+}
+
+func TestResetKeepsTableUsable(t *testing.T) {
+	tab := New(2, goodHash)
+	tab.Intern(key{1, 1})
+	tab.Intern(key{2, 2})
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tab.Len())
+	}
+	if _, ok := tab.Lookup(key{1, 1}); ok {
+		t.Error("stale assignment survived Reset")
+	}
+	// Fresh ids restart at 0.
+	if id := tab.Intern(key{2, 2}); id != 0 {
+		t.Errorf("first id after Reset = %d, want 0", id)
+	}
+}
+
+func TestNilTableLookupAndLen(t *testing.T) {
+	var tab *Table[key]
+	if _, ok := tab.Lookup(key{1, 1}); ok {
+		t.Error("nil table Lookup reported found")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("nil table Len = %d", tab.Len())
+	}
+}
+
+// TestManyKeysForcesGrowth interns past the initial capacity with an
+// adversarial hash and checks every id round-trips.
+func TestManyKeysForcesGrowth(t *testing.T) {
+	for _, hash := range []func(key) uint64{goodHash, badHash} {
+		tab := New(1, hash)
+		const n = 1000
+		ids := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			ids[i] = tab.Intern(key{i % 7, i})
+		}
+		if tab.Len() != n {
+			t.Fatalf("Len = %d, want %d", tab.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if ids[i] != uint32(i) {
+				t.Fatalf("id %d assigned %d, want first-seen order", i, ids[i])
+			}
+			if got, ok := tab.Lookup(key{i % 7, i}); !ok || got != ids[i] {
+				t.Fatalf("Lookup(%d) = (%d, %v), want (%d, true)", i, got, ok, ids[i])
+			}
+			if k := tab.Key(ids[i]); k != (key{i % 7, i}) {
+				t.Fatalf("Key(%d) = %v", ids[i], k)
+			}
+		}
+	}
+}

@@ -11,14 +11,15 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"tieredmem/internal/abit"
+	"tieredmem/internal/core/pageidx"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/hwpc"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
-	"tieredmem/internal/order"
 	"tieredmem/internal/pml"
 	"tieredmem/internal/pmu"
 	"tieredmem/internal/telemetry"
@@ -72,6 +73,38 @@ func PageKeyLess(a, b PageKey) bool {
 		return a.PID < b.PID
 	}
 	return a.VPN < b.VPN
+}
+
+// PageKeyCmp is PageKeyLess as a three-way comparison, for
+// slices.SortFunc call sites.
+func PageKeyCmp(a, b PageKey) int {
+	if a.PID != b.PID {
+		if a.PID < b.PID {
+			return -1
+		}
+		return 1
+	}
+	if a.VPN != b.VPN {
+		if a.VPN < b.VPN {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// PageKeyHash is the hash every pageidx interning table over PageKey
+// uses (SplitMix64-style finalizer over the mixed fields). Unseeded on
+// purpose: slot placement never orders any output, and a fixed hash
+// keeps runs bit-reproducible under debugging.
+func PageKeyHash(k PageKey) uint64 {
+	x := uint64(k.PID)*0x9E3779B97F4A7C15 + uint64(k.VPN)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
 }
 
 // PageStat is one page's per-epoch observation record.
@@ -319,18 +352,36 @@ type EpochStats struct {
 // HarvestEpoch flushes pending trace samples, snapshots every
 // allocated page's epoch counters, resets them, and advances the epoch
 // index. This is the profiler-policy interface: the policy engine sees
-// ranked pages, not monitoring detail.
+// ranked pages, not monitoring detail. The returned harvest owns its
+// backing array; callers that drop the harvest every epoch should use
+// HarvestEpochInto instead, which recycles one.
 func (p *Profiler) HarvestEpoch() EpochStats {
+	var stats EpochStats
+	p.HarvestEpochInto(&stats)
+	return stats
+}
+
+// HarvestEpochInto is the allocation-free harvest: dst.Pages is
+// truncated and refilled in place, so a caller that reuses one
+// EpochStats across epochs (the placement loop) pays zero allocations
+// per epoch in steady state — pinned by testing.AllocsPerRun. The
+// snapshot and the epoch-counter reset happen in one pass over the
+// allocated-PFN span instead of the two full-descriptor walks the
+// harvest used to make. dst must not be retained across calls by
+// anything downstream; harvests that are kept (sim.Run's Epochs
+// slice) go through HarvestEpoch, which hands out a fresh array.
+func (p *Profiler) HarvestEpochInto(dst *EpochStats) {
 	p.IBS.FlushAt(p.machine.Now())
 	if p.PML != nil {
 		p.PML.Flush()
 	}
-	stats := EpochStats{Epoch: p.epoch}
+	dst.Epoch = p.epoch
+	dst.Pages = dst.Pages[:0]
 	p.machine.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
 		if pd.AbitEpoch == 0 && pd.TraceEpoch == 0 && pd.WriteEpoch == 0 && pd.TrueEpoch == 0 {
 			return
 		}
-		stats.Pages = append(stats.Pages, PageStat{
+		dst.Pages = append(dst.Pages, PageStat{
 			Key:   PageKey{PID: pd.PID, VPN: pd.VPage},
 			Tier:  pd.Tier,
 			Abit:  pd.AbitEpoch,
@@ -338,14 +389,17 @@ func (p *Profiler) HarvestEpoch() EpochStats {
 			Write: pd.WriteEpoch,
 			True:  pd.TrueEpoch,
 		})
+		// Folding the epoch counters into the totals here (rather
+		// than in a second ResetEpochAll pass) is safe because the
+		// fold is a no-op on pages with all-zero epoch counters —
+		// the ones the harvest skips.
+		pd.ResetEpoch()
 	})
-	p.machine.Phys.ResetEpochAll()
 	p.epoch++
 	if p.tel.Enabled() {
-		p.ctrHarvested.Add(uint64(len(stats.Pages)))
-		p.tel.CutEpoch(p.machine.Now(), len(stats.Pages))
+		p.ctrHarvested.Add(uint64(len(dst.Pages)))
+		p.tel.CutEpoch(p.machine.Now(), len(dst.Pages))
 	}
-	return stats
 }
 
 // Epoch returns the index of the epoch currently being collected.
@@ -356,8 +410,11 @@ func (p *Profiler) Epoch() int { return p.epoch }
 // tier — A-bit evidence is at most one observation per scan, so large
 // tie groups are common, and preferring residents is the hysteresis
 // that "eliminates excessive migration" (§II-A); remaining ties order
-// deterministically by (PID, VPN). Pages with zero rank under the
-// method are excluded — the profiler never saw them.
+// deterministically by (PID, VPN). The order is RankLess, the one
+// comparator every selector shares. Pages with zero rank under the
+// method are excluded — the profiler never saw them. Callers that
+// only consume a prefix should use TopK, which produces the same
+// prefix without sorting the whole harvest.
 func RankedPages(stats EpochStats, m Method) []PageStat {
 	out := make([]PageStat, 0, len(stats.Pages))
 	for _, ps := range stats.Pages {
@@ -365,20 +422,64 @@ func RankedPages(stats EpochStats, m Method) []PageStat {
 			out = append(out, ps)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		ri, rj := out[i].Rank(m), out[j].Rank(m)
-		if ri != rj {
-			return ri > rj
+	// Sort packed keys, not 48-byte PageStats: a page's position under
+	// RankCmp is (rank descending, slow-tier bit, PID, VPN), and when
+	// those fields' bit-widths fit one machine word — every realistic
+	// harvest — the whole order packs into a single uint64 per page,
+	// precomputed once, so the sort pays one integer compare per pair
+	// instead of re-deriving Rank() and walking the tie-break chain.
+	// Keys are unique (distinct pages), so the packed word alone is a
+	// total order and the differential tests (TopK == RankedPages for
+	// every method and tie shape) pin the encoding to RankCmp.
+	var maxRank, maxPID, maxVPN uint64
+	negPID := false
+	for i := range out {
+		if r := out[i].Rank(m); r > maxRank {
+			maxRank = r
 		}
-		iFast, jFast := out[i].Tier == mem.FastTier, out[j].Tier == mem.FastTier
-		if iFast != jFast {
-			return iFast
+		if out[i].Key.PID < 0 {
+			negPID = true
+		} else if p := uint64(out[i].Key.PID); p > maxPID {
+			maxPID = p
 		}
-		if out[i].Key.PID != out[j].Key.PID {
-			return out[i].Key.PID < out[j].Key.PID
+		if v := uint64(out[i].Key.VPN); v > maxVPN {
+			maxVPN = v
 		}
-		return out[i].Key.VPN < out[j].Key.VPN
-	})
+	}
+	pidBits, vpnBits := bits.Len64(maxPID), bits.Len64(maxVPN)
+	if !negPID && bits.Len64(maxRank)+1+pidBits+vpnBits <= 64 {
+		type pk struct {
+			key uint64
+			idx int32
+		}
+		keys := make([]pk, len(out))
+		for i := range out {
+			k := (maxRank-out[i].Rank(m))<<(1+pidBits+vpnBits) |
+				uint64(out[i].Key.PID)<<vpnBits |
+				uint64(out[i].Key.VPN)
+			if out[i].Tier != mem.FastTier {
+				k |= 1 << (pidBits + vpnBits)
+			}
+			keys[i] = pk{key: k, idx: int32(i)}
+		}
+		slices.SortFunc(keys, func(a, b pk) int {
+			if a.key < b.key {
+				return -1
+			}
+			if a.key > b.key {
+				return 1
+			}
+			return 0
+		})
+		res := make([]PageStat, len(out))
+		for i := range keys {
+			res[i] = out[keys[i].idx]
+		}
+		return res
+	}
+	// Degenerate field ranges (wild VPNs, negative PIDs): comparator
+	// sort on the canonical order directly.
+	slices.SortFunc(out, func(a, b PageStat) int { return statCmp(&a, &b, m) })
 	return out
 }
 
@@ -387,27 +488,42 @@ func RankedPages(stats EpochStats, m Method) []PageStat {
 // pages come out in canonical (PID, VPN) order. This is the sanctioned
 // way to aggregate PageStat counters outside the profiler arms — the
 // tmplint epochaccount analyzer rejects open-coded counter writes.
+// Accumulation is dense: each distinct page interns to a uint32 id
+// once (pageidx) and every later observation is a slice-indexed add,
+// instead of the map[PageKey]PageStat copy-out/copy-in per
+// observation the merge used to make.
 func SumEpochs(epochs []EpochStats) EpochStats {
-	totals := make(map[PageKey]PageStat)
+	// Size for the distinct-page count, which is at least the largest
+	// single epoch — NOT the sum of epoch sizes: consecutive harvests
+	// mostly re-observe the same working set, and a sum-sized map
+	// would allocate (and fault in) an order of magnitude more buckets
+	// than ever fill.
+	hint := 0
 	for _, ep := range epochs {
-		for _, ps := range ep.Pages {
-			t, ok := totals[ps.Key]
-			if !ok {
-				t = PageStat{Key: ps.Key}
+		if len(ep.Pages) > hint {
+			hint = len(ep.Pages)
+		}
+	}
+	tab := pageidx.New(hint, PageKeyHash)
+	acc := make([]PageStat, 0, hint)
+	for _, ep := range epochs {
+		for i := range ep.Pages {
+			ps := &ep.Pages[i]
+			id := tab.Intern(ps.Key)
+			if int(id) == len(acc) {
+				acc = append(acc, PageStat{Key: ps.Key})
 			}
+			t := &acc[id]
 			t.Tier = ps.Tier // last placement wins
 			t.Abit += ps.Abit
 			t.Trace += ps.Trace
 			t.Write += ps.Write
 			t.True += ps.True
-			totals[ps.Key] = t
 		}
 	}
-	out := EpochStats{}
-	for _, key := range order.SortedKeysFunc(totals, PageKeyLess) {
-		out.Pages = append(out.Pages, totals[key])
-	}
-	return out
+	// Ids are first-seen order; one sort pins the canonical output.
+	slices.SortFunc(acc, func(a, b PageStat) int { return PageKeyCmp(a.Key, b.Key) })
+	return EpochStats{Pages: acc}
 }
 
 // AttachTruth merges the machine's per-page ground truth into a
@@ -417,15 +533,18 @@ func SumEpochs(epochs []EpochStats) EpochStats {
 // profilers that bypass the TMP daemon (AutoNUMA, BadgerTrap
 // baselines) call this before evaluation.
 func AttachTruth(phys *mem.PhysMem, ep *EpochStats) {
-	idx := make(map[PageKey]int, len(ep.Pages))
+	// The observed pages intern in slice order, so an id doubles as
+	// the page's index into ep.Pages.
+	tab := pageidx.New(len(ep.Pages), PageKeyHash)
 	for i := range ep.Pages {
-		idx[ep.Pages[i].Key] = i
+		tab.Intern(ep.Pages[i].Key)
 	}
+	observed := len(ep.Pages)
 	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
 		key := PageKey{PID: pd.PID, VPN: pd.VPage}
-		if i, ok := idx[key]; ok {
-			ep.Pages[i].True = pd.TrueEpoch
-			ep.Pages[i].Tier = pd.Tier
+		if id, ok := tab.Lookup(key); ok && int(id) < observed {
+			ep.Pages[id].True = pd.TrueEpoch
+			ep.Pages[id].Tier = pd.Tier
 			return
 		}
 		if pd.TrueEpoch > 0 {
@@ -442,16 +561,4 @@ func AttachTruth(phys *mem.PhysMem, ep *EpochStats) {
 // mechanism.
 func (p *Profiler) OverheadNS() (ibsNS, abitNS, hwpcNS int64) {
 	return p.IBS.Stats().OverheadNS, p.Abit.Stats().OverheadNS, p.Monitor.OverheadNS
-}
-
-// RanksOf builds a hotness map for a harvest under a method; the page
-// mover uses it to demote coldest-first.
-func RanksOf(stats EpochStats, m Method) map[PageKey]uint64 {
-	out := make(map[PageKey]uint64, len(stats.Pages))
-	for _, ps := range stats.Pages {
-		if r := ps.Rank(m); r > 0 {
-			out[ps.Key] = r
-		}
-	}
-	return out
 }

@@ -189,8 +189,14 @@ func TestRanksOf(t *testing.T) {
 		{Key: PageKey{1, 2}, Abit: 0, Trace: 0},
 	}}
 	ranks := RanksOf(stats, MethodCombined)
-	if len(ranks) != 1 || ranks[PageKey{1, 1}] != 3 {
-		t.Errorf("RanksOf = %v", ranks)
+	if ranks.Len() != 1 || ranks.Get(PageKey{1, 1}) != 3 {
+		t.Errorf("RanksOf: Len=%d Get={1,1}=%d", ranks.Len(), ranks.Get(PageKey{1, 1}))
+	}
+	if ranks.Get(PageKey{1, 2}) != 0 {
+		t.Errorf("zero-rank page should report rank 0, got %d", ranks.Get(PageKey{1, 2}))
+	}
+	if (Ranks{}).Get(PageKey{1, 1}) != 0 || (Ranks{}).Len() != 0 {
+		t.Errorf("zero-value Ranks must behave as an empty table")
 	}
 }
 

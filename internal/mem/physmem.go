@@ -61,6 +61,14 @@ type tierState struct {
 	cursor    int // next-fit position for base pages
 	hugeCur   int // next-fit position (from top) for huge runs
 	inUse     int
+	// hiWater is one past the highest local index ever claimed: the
+	// dense allocated-PFN span the per-epoch walks cover. Frees do
+	// not lower it (the walks still check Allocated()), but base
+	// allocation is next-fit from the bottom and huge allocation
+	// top-down from hugeCur, so in practice the span stays tight to
+	// the working set and the epoch walks skip the unallocated tail
+	// instead of re-discovering it every harvest.
+	hiWater int
 }
 
 // PhysMem is the machine's physical memory: a contiguous PFN space
@@ -167,6 +175,9 @@ func (pm *PhysMem) claim(ts *tierState, local int, pid int, vpn VPN) PFN {
 	ts.free[local] = false
 	ts.freeCount--
 	ts.inUse++
+	if local >= ts.hiWater {
+		ts.hiWater = local + 1
+	}
 	pfn := ts.base + PFN(local)
 	pd := &pm.pds[pfn]
 	pd.PID = pid
@@ -309,22 +320,39 @@ func (pm *PhysMem) FreeHuge(basePFN PFN) {
 	}
 }
 
-// ForEachAllocated invokes fn for every allocated frame, ascending PFN.
+// ForEachAllocated invokes fn for every allocated frame, ascending
+// PFN. The walk covers each tier's claimed-watermark span rather than
+// the whole frame array, so epoch-horizon passes scale with the
+// working set, not the machine size.
 func (pm *PhysMem) ForEachAllocated(fn func(*PageDescriptor)) {
-	for i := range pm.pds {
-		if pm.pds[i].Allocated() {
-			fn(&pm.pds[i])
+	for t := range pm.tiers {
+		ts := &pm.tiers[t]
+		if ts.inUse == 0 {
+			continue
+		}
+		lo := int(ts.base)
+		for i := lo; i < lo+ts.hiWater; i++ {
+			if pm.pds[i].Allocated() {
+				fn(&pm.pds[i])
+			}
 		}
 	}
 }
 
 // ResetEpochAll folds every allocated frame's epoch counters into its
 // totals, the bulk form of PageDescriptor.ResetEpoch used at epoch
-// horizons.
+// horizons. Like ForEachAllocated it walks only the claimed spans.
 func (pm *PhysMem) ResetEpochAll() {
-	for i := range pm.pds {
-		if pm.pds[i].Allocated() {
-			pm.pds[i].ResetEpoch()
+	for t := range pm.tiers {
+		ts := &pm.tiers[t]
+		if ts.inUse == 0 {
+			continue
+		}
+		lo := int(ts.base)
+		for i := lo; i < lo+ts.hiWater; i++ {
+			if pm.pds[i].Allocated() {
+				pm.pds[i].ResetEpoch()
+			}
 		}
 	}
 }

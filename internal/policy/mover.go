@@ -124,6 +124,14 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 	return nil
 }
 
+// demoteCand is one demotion candidate with its rank precomputed at
+// walk time, so the coldest-first ordering does one ranks lookup per
+// candidate instead of O(n log n) lookups inside a sort comparator.
+type demoteCand struct {
+	key  core.PageKey
+	rank uint64
+}
+
 // ApplySelection reconciles physical placement with a policy's tier-1
 // selection: demotes unselected fast-tier pages coldest-first (making
 // room), then promotes selected slow-tier pages, then issues one
@@ -131,9 +139,9 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 // per page (missing keys count as zero, i.e. coldest); it protects
 // hot-but-unsampled residents from being evicted to fit a handful of
 // promotions. It returns (promoted, demoted).
-func (mv *Mover) ApplySelection(sel Selection, ranks map[core.PageKey]uint64) (int, int) {
+func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	phys := mv.machine.Phys
-	var demote []core.PageKey
+	var demote []demoteCand
 	var promote []core.PageKey
 	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
 		if pd.Flags&mem.FlagNonMigratable != 0 {
@@ -143,38 +151,64 @@ func (mv *Mover) ApplySelection(sel Selection, ranks map[core.PageKey]uint64) (i
 		_, selected := sel[key]
 		switch {
 		case pd.Tier == mem.FastTier && !selected:
-			demote = append(demote, key)
+			demote = append(demote, demoteCand{key: key, rank: ranks.Get(key)})
 		case pd.Tier != mem.FastTier && selected:
-			if ranks[key] < mv.MinPromoteRank {
+			if ranks.Get(key) < mv.MinPromoteRank {
 				break // not enough evidence to pay for the move
 			}
 			promote = append(promote, key)
 		}
 	})
-	sort.Slice(demote, func(i, j int) bool {
-		ri, rj := ranks[demote[i]], ranks[demote[j]]
-		if ri != rj {
-			return ri < rj
-		}
-		if demote[i].PID != demote[j].PID {
-			return demote[i].PID < demote[j].PID
-		}
-		return demote[i].VPN < demote[j].VPN
-	})
+	coldest := func(a, b demoteCand) bool {
+		return core.ColdestLess(a.rank, b.rank, a.key, b.key)
+	}
+	// Only demote as many pages as needed to fit the promotions plus
+	// any fast-tier overflow: that bound is known up front, so
+	// bounded selection pulls just the needed coldest candidates out
+	// of the (much larger) resident set instead of fully sorting it.
+	// Every candidate past the bound is only ever consumed when a
+	// migration fails (vanished mapping, full target tier); the
+	// fallback below sorts the remainder lazily so the demotion
+	// sequence stays exactly the coldest-first order a full sort
+	// would have produced.
+	need := len(promote) - phys.FreeFrames(mem.FastTier)
+	if need < 0 {
+		need = 0
+	}
+	if need > len(demote) {
+		need = len(demote)
+	}
+	head := core.TopKFunc(demote, need, coldest)
+	rest := demote[len(head):]
+	restSorted := false
 
 	demoted, promoted := 0, 0
-	for _, key := range demote {
-		// Only demote as many as needed to fit the promotions plus
-		// any fast-tier overflow.
+	next := 0
+	for {
 		if phys.FreeFrames(mem.FastTier) >= len(promote)-promoted {
 			break
 		}
-		if err := mv.migrate(key, mem.SlowTier); err != nil {
+		var cand demoteCand
+		if next < len(head) {
+			cand = head[next]
+		} else {
+			if !restSorted {
+				sort.Slice(rest, func(i, j int) bool { return coldest(rest[i], rest[j]) })
+				restSorted = true
+			}
+			j := next - len(head)
+			if j >= len(rest) {
+				break
+			}
+			cand = rest[j]
+		}
+		next++
+		if err := mv.migrate(cand.key, mem.SlowTier); err != nil {
 			mv.Failed++
 			continue
 		}
 		demoted++
-		mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), false)
+		mv.tel.EmitMigration(mv.machine.Now(), cand.key.PID, uint64(cand.key.VPN), false)
 	}
 	for _, key := range promote {
 		if phys.FreeFrames(mem.FastTier) == 0 {

@@ -56,7 +56,7 @@ func TestMoverPromotesSelected(t *testing.T) {
 		core.PageKey{PID: 1, VPN: 5}: {},
 		core.PageKey{PID: 1, VPN: 6}: {},
 	}
-	promoted, demoted := mv.ApplySelection(sel, nil)
+	promoted, demoted := mv.ApplySelection(sel, core.Ranks{})
 	if promoted != 2 {
 		t.Fatalf("promoted %d, want 2", promoted)
 	}
@@ -76,13 +76,13 @@ func TestMoverDemotesColdestFirst(t *testing.T) {
 	touchPages(t, m, 1, 6) // pages 0..3 fast, 4..5 slow
 	mv := NewMover(m)
 	sel := Selection{core.PageKey{PID: 1, VPN: 4}: {}}
-	ranks := map[core.PageKey]uint64{
+	ranks := core.RanksFromMap(map[core.PageKey]uint64{
 		{PID: 1, VPN: 0}: 10,
 		{PID: 1, VPN: 1}: 10,
 		{PID: 1, VPN: 2}: 10,
 		{PID: 1, VPN: 3}: 0, // coldest: must be the demotion victim
 		{PID: 1, VPN: 4}: 5,
-	}
+	})
 	mv.ApplySelection(sel, ranks)
 	if tierOf(t, m, 1, 3) != mem.SlowTier {
 		t.Errorf("coldest resident not demoted")
@@ -100,7 +100,7 @@ func TestMoverPreservesVirtualAddressAndState(t *testing.T) {
 	pd.AbitEpoch, pd.TraceEpoch, pd.TrueTotal = 3, 4, 50
 
 	mv := NewMover(m)
-	mv.ApplySelection(Selection{core.PageKey{PID: 1, VPN: 4}: {}}, nil)
+	mv.ApplySelection(Selection{core.PageKey{PID: 1, VPN: 4}: {}}, core.Ranks{})
 
 	newPFN, ok := m.Table(1).Frame(4)
 	if !ok {
@@ -172,7 +172,7 @@ func TestMoverFailsGracefullyOnUnmapped(t *testing.T) {
 	touchPages(t, m, 1, 6)
 	mv := NewMover(m)
 	sel := Selection{core.PageKey{PID: 99, VPN: 1}: {}} // nonexistent process
-	promoted, _ := mv.ApplySelection(sel, nil)
+	promoted, _ := mv.ApplySelection(sel, core.Ranks{})
 	if promoted != 0 {
 		t.Errorf("promoted a page of a nonexistent process")
 	}

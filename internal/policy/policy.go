@@ -16,7 +16,6 @@ import (
 	"sort"
 
 	"tieredmem/internal/core"
-	"tieredmem/internal/order"
 )
 
 // Selection is the set of pages a policy placed in tier 1 for an
@@ -36,11 +35,15 @@ type Policy interface {
 	Select(prev, next core.EpochStats, method core.Method, capacity int) Selection
 }
 
-// takeTop picks the top-capacity pages from ranked stats.
-func takeTop(ranked []core.PageStat, capacity int) Selection {
-	sel := make(Selection, capacity)
-	for i := 0; i < len(ranked) && i < capacity; i++ {
-		sel[ranked[i].Key] = struct{}{}
+// takeTop picks the top-capacity pages of a harvest under a method.
+// Selection is bounded: core.TopK heaps out the capacity hottest
+// pages (the order core.RankLess pins) instead of sorting the whole
+// harvest to throw most of it away.
+func takeTop(stats core.EpochStats, method core.Method, capacity int) Selection {
+	top := core.TopK(stats, method, capacity)
+	sel := make(Selection, len(top))
+	for i := range top {
+		sel[top[i].Key] = struct{}{}
 	}
 	return sel
 }
@@ -55,7 +58,7 @@ func (Oracle) Name() string { return "oracle" }
 
 // Select implements Policy.
 func (Oracle) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
-	return takeTop(core.RankedPages(next, method), capacity)
+	return takeTop(next, method, capacity)
 }
 
 // History brings the previous epoch's hottest pages into tier 1: the
@@ -67,7 +70,7 @@ func (History) Name() string { return "history" }
 
 // Select implements Policy.
 func (History) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
-	return takeTop(core.RankedPages(prev, method), capacity)
+	return takeTop(prev, method, capacity)
 }
 
 // FirstTouch is the NUMA-like first-come-first-allocate baseline: the
@@ -99,12 +102,7 @@ func (f *FirstTouch) Select(prev, next core.EpochStats, method core.Method, capa
 			keys = append(keys, ps.Key)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].PID != keys[j].PID {
-			return keys[i].PID < keys[j].PID
-		}
-		return keys[i].VPN < keys[j].VPN
-	})
+	sort.Slice(keys, func(i, j int) bool { return core.PageKeyLess(keys[i], keys[j]) })
 	for _, k := range keys {
 		if len(f.order) >= capacity {
 			break
@@ -148,11 +146,14 @@ func (d *Decay) Select(prev, next core.EpochStats, method core.Method, capacity 
 		seen[ps.Key] = struct{}{}
 		d.scores[ps.Key] = d.scores[ps.Key]*(1-d.Alpha) + float64(ps.Rank(method))*d.Alpha
 	}
-	for _, k := range order.SortedKeysFunc(d.scores, core.PageKeyLess) {
+	//tmplint:ordered per-key decay/delete is independent of visit order
+	for k, v := range d.scores {
 		if _, ok := seen[k]; !ok {
-			d.scores[k] *= 1 - d.Alpha
-			if d.scores[k] < 1e-6 {
+			v *= 1 - d.Alpha
+			if v < 1e-6 {
 				delete(d.scores, k)
+			} else {
+				d.scores[k] = v
 			}
 		}
 	}
@@ -161,23 +162,18 @@ func (d *Decay) Select(prev, next core.EpochStats, method core.Method, capacity 
 		v float64
 	}
 	ranked := make([]kv, 0, len(d.scores))
-	for _, k := range order.SortedKeysFunc(d.scores, core.PageKeyLess) {
-		if v := d.scores[k]; v > 0 {
+	//tmplint:ordered TopKFunc's total-order comparator canonicalizes the result
+	for k, v := range d.scores {
+		if v > 0 {
 			ranked = append(ranked, kv{k, v})
 		}
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].v != ranked[j].v {
-			return ranked[i].v > ranked[j].v
-		}
-		if ranked[i].k.PID != ranked[j].k.PID {
-			return ranked[i].k.PID < ranked[j].k.PID
-		}
-		return ranked[i].k.VPN < ranked[j].k.VPN
+	ranked = core.TopKFunc(ranked, capacity, func(a, b kv) bool {
+		return core.RankLess(a.v, b.v, false, false, a.k, b.k)
 	})
-	sel := make(Selection, capacity)
-	for i := 0; i < len(ranked) && i < capacity; i++ {
-		sel[ranked[i].k] = struct{}{}
+	sel := make(Selection, len(ranked))
+	for _, e := range ranked {
+		sel[e.k] = struct{}{}
 	}
 	return sel
 }

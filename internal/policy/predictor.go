@@ -2,10 +2,8 @@ package policy
 
 import (
 	"fmt"
-	"sort"
 
 	"tieredmem/internal/core"
-	"tieredmem/internal/order"
 )
 
 // Predictor is a Kleio-inspired extension policy ([38] in the paper:
@@ -70,8 +68,8 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 		st.shortTerm = r
 	}
 	// Pages absent this epoch decay and lose trust.
-	for _, key := range order.SortedKeysFunc(p.state, core.PageKeyLess) {
-		st := p.state[key]
+	//tmplint:ordered per-key decay/delete is independent of visit order
+	for key, st := range p.state {
 		if _, ok := seen[key]; ok {
 			continue
 		}
@@ -90,8 +88,8 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 		score float64
 	}
 	ranked := make([]scored, 0, len(p.state))
-	for _, key := range order.SortedKeysFunc(p.state, core.PageKeyLess) {
-		st := p.state[key]
+	//tmplint:ordered TopKFunc's total-order comparator canonicalizes the result
+	for key, st := range p.state {
 		w := float64(st.confidence) / float64(maxConf)
 		// Low-confidence observations are discounted: an erratic
 		// page's latest spike contributes a quarter of its face
@@ -101,18 +99,12 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 			ranked = append(ranked, scored{key, score})
 		}
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
-		}
-		if ranked[i].key.PID != ranked[j].key.PID {
-			return ranked[i].key.PID < ranked[j].key.PID
-		}
-		return ranked[i].key.VPN < ranked[j].key.VPN
+	ranked = core.TopKFunc(ranked, capacity, func(a, b scored) bool {
+		return core.RankLess(a.score, b.score, false, false, a.key, b.key)
 	})
-	sel := make(Selection, capacity)
-	for i := 0; i < len(ranked) && i < capacity; i++ {
-		sel[ranked[i].key] = struct{}{}
+	sel := make(Selection, len(ranked))
+	for _, e := range ranked {
+		sel[e.key] = struct{}{}
 	}
 	return sel
 }

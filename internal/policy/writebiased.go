@@ -2,7 +2,6 @@ package policy
 
 import (
 	"fmt"
-	"sort"
 
 	"tieredmem/internal/core"
 )
@@ -42,21 +41,12 @@ func (w WriteBiased) Select(prev, next core.EpochStats, method core.Method, capa
 			ranked = append(ranked, scored{key: ps.Key, score: s, fast: ps.Tier == 0})
 		}
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
-		}
-		if ranked[i].fast != ranked[j].fast {
-			return ranked[i].fast
-		}
-		if ranked[i].key.PID != ranked[j].key.PID {
-			return ranked[i].key.PID < ranked[j].key.PID
-		}
-		return ranked[i].key.VPN < ranked[j].key.VPN
+	ranked = core.TopKFunc(ranked, capacity, func(a, b scored) bool {
+		return core.RankLess(a.score, b.score, a.fast, b.fast, a.key, b.key)
 	})
-	sel := make(Selection, capacity)
-	for i := 0; i < len(ranked) && i < capacity; i++ {
-		sel[ranked[i].key] = struct{}{}
+	sel := make(Selection, len(ranked))
+	for _, e := range ranked {
+		sel[e.key] = struct{}{}
 	}
 	return sel
 }

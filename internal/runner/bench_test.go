@@ -18,7 +18,12 @@ import (
 	"testing"
 	"time"
 
+	"tieredmem/internal/core"
 	"tieredmem/internal/experiments"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/trace"
+	"tieredmem/internal/workload"
 )
 
 // benchWorkloads is the fixed cell set: one job per workload.
@@ -38,6 +43,33 @@ func runCells(tb testing.TB, parallel int) string {
 		tb.Fatalf("methods comparison (parallel=%d): %v", parallel, err)
 	}
 	return experiments.RenderMethods(rows)
+}
+
+// harvestAllocsPerOp measures the steady-state allocation count of the
+// recycled-scratch epoch harvest (the same loop BenchmarkHarvestSteadyState
+// at the repo root times). The contract is 0: the placement loop's
+// per-epoch work reuses its buffers once they have grown to the
+// working set. Recording it here makes BENCH_runner.json self-checking
+// rather than relying on a benchmark log.
+func harvestAllocsPerOp(t *testing.T) float64 {
+	w := workload.MustNew("gups", workload.Config{Seed: 2, FirstPID: 100})
+	r, err := sim.New(sim.DefaultConfig(w, 4096, 1), w)
+	if err != nil {
+		t.Fatalf("harvest allocs probe: %v", err)
+	}
+	buf := make([]trace.Ref, 4096)
+	w.Fill(buf)
+	for j := range buf {
+		if _, err := r.Machine.Execute(buf[j]); err != nil {
+			t.Fatalf("harvest allocs probe: %v", err)
+		}
+	}
+	var ep core.EpochStats
+	r.Profiler.HarvestEpochInto(&ep) // grow the scratch once
+	return testing.AllocsPerRun(100, func() {
+		r.Machine.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) { pd.AbitEpoch = 1 })
+		r.Profiler.HarvestEpochInto(&ep)
+	})
 }
 
 func BenchmarkRunner(b *testing.B) {
@@ -83,26 +115,37 @@ func TestEmitRunnerBenchJSON(t *testing.T) {
 		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
 	}
 
+	// The artifact is self-describing: a speedup below 1 with
+	// gomaxprocs/num_cpu of 1 documents a single-core run where the
+	// pool cannot pay for itself, not a regression. The committed copy
+	// at the repo root records whatever machine last regenerated it;
+	// the bench-runner CI job uploads the multi-core measurement.
 	report := struct {
-		Benchmark    string   `json:"benchmark"`
-		Experiment   string   `json:"experiment"`
-		Workloads    []string `json:"workloads"`
-		RefsPerCell  int      `json:"refs_per_cell"`
-		Workers      int      `json:"workers"`
-		SequentialNS int64    `json:"sequential_ns"`
-		ParallelNS   int64    `json:"parallel_ns"`
-		Speedup      float64  `json:"speedup"`
-		Identical    bool     `json:"output_identical"`
+		Benchmark          string   `json:"benchmark"`
+		Experiment         string   `json:"experiment"`
+		Workloads          []string `json:"workloads"`
+		RefsPerCell        int      `json:"refs_per_cell"`
+		Workers            int      `json:"workers"`
+		GOMAXPROCS         int      `json:"gomaxprocs"`
+		NumCPU             int      `json:"num_cpu"`
+		SequentialNS       int64    `json:"sequential_ns"`
+		ParallelNS         int64    `json:"parallel_ns"`
+		Speedup            float64  `json:"speedup"`
+		HarvestAllocsPerOp float64  `json:"harvest_allocs_per_op"`
+		Identical          bool     `json:"output_identical"`
 	}{
-		Benchmark:    "BenchmarkRunner",
-		Experiment:   "methods",
-		Workloads:    benchWorkloads,
-		RefsPerCell:  benchOptions(0).Refs,
-		Workers:      workers,
-		SequentialNS: seqNS,
-		ParallelNS:   parNS,
-		Speedup:      float64(seqNS) / float64(parNS),
-		Identical:    true,
+		Benchmark:          "BenchmarkRunner",
+		Experiment:         "methods",
+		Workloads:          benchWorkloads,
+		RefsPerCell:        benchOptions(0).Refs,
+		Workers:            workers,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		SequentialNS:       seqNS,
+		ParallelNS:         parNS,
+		Speedup:            float64(seqNS) / float64(parNS),
+		HarvestAllocsPerOp: harvestAllocsPerOp(t),
+		Identical:          true,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -170,6 +170,10 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 	pids := w.Processes()
 
 	buf := make([]trace.Ref, cfg.BatchSize)
+	// Harvest scratch reused across epochs: the placement loop drops
+	// each harvest after selection, so steady-state epochs run
+	// allocation-free (HarvestEpochInto recycles ep's backing array).
+	var ep core.EpochStats
 	nextEpoch := cfg.EpochNS
 	executed := 0
 	for executed < cfg.TotalRefs {
@@ -201,7 +205,7 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 		}
 		if now >= nextEpoch {
 			if prof != nil {
-				ep := prof.HarvestEpoch()
+				prof.HarvestEpochInto(&ep)
 				sel := cfg.Policy.Select(ep, core.EpochStats{}, cfg.Method, capacity)
 				promoted, demoted := mover.ApplySelection(sel, core.RanksOf(ep, cfg.Method))
 				if em != nil && promoted+demoted > 0 {

@@ -1,0 +1,156 @@
+// Command benchcmp compares two `go test -bench -benchmem` outputs —
+// the PR head and its merge base — and prints a delta table. It is
+// the comparator behind the bench-compare CI job and uses only the
+// standard library.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-allocs-guard REGEX] old.txt new.txt
+//
+// Benchmarks present only in new.txt are reported as "new" (the merge
+// base predates them); benchmarks present only in old.txt are
+// reported as "gone". Neither fails the comparison. The one hard
+// gate is the allocation guard: any benchmark whose name matches
+// -allocs-guard (default HarvestSteadyState) and whose allocs/op
+// increased over the base exits 1 — the steady-state harvest is
+// contractually allocation-free and a regression there silently
+// re-inflates every epoch of every experiment cell.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's measurements. allocs is -1 when
+// the line carried no allocs/op column (benchmark ran without
+// -benchmem or never calls ReportAllocs).
+type result struct {
+	nsPerOp float64
+	allocs  float64
+}
+
+// benchLine matches a benchmark result line: name, iteration count,
+// ns/op, then optional -benchmem columns. The -N GOMAXPROCS suffix is
+// stripped from the name so runs on machines with different core
+// counts still line up.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsCol = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := result{nsPerOp: ns, allocs: -1}
+		if a := allocsCol.FindStringSubmatch(m[3]); a != nil {
+			r.allocs, _ = strconv.ParseFloat(a[1], 64)
+		}
+		// Repeated runs of the same benchmark (e.g. -count>1): keep the
+		// fastest, the conventional benchstat-free noise reduction.
+		if prev, ok := out[m[1]]; !ok || ns < prev.nsPerOp {
+			out[m[1]] = r
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	guard := flag.String("allocs-guard", "HarvestSteadyState",
+		"fail when a benchmark matching this regexp regresses in allocs/op")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-allocs-guard REGEX] old.txt new.txt")
+		os.Exit(2)
+	}
+	guardRE, err := regexp.Compile(*guard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: bad -allocs-guard: %v\n", err)
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := make(map[string]bool)
+	for n := range cur {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range old {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-50s %14s %14s %9s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	failed := false
+	for _, n := range names {
+		o, haveOld := old[n]
+		c, haveNew := cur[n]
+		switch {
+		case !haveNew:
+			fmt.Fprintf(w, "%-50s %14.0f %14s %9s %9s\n", n, o.nsPerOp, "gone", "", "")
+		case !haveOld:
+			fmt.Fprintf(w, "%-50s %14s %14.0f %9s %9s\n", n, "new", c.nsPerOp, "", allocsStr(c))
+		default:
+			delta := (c.nsPerOp - o.nsPerOp) / o.nsPerOp * 100
+			fmt.Fprintf(w, "%-50s %14.0f %14.0f %+8.1f%% %9s\n",
+				n, o.nsPerOp, c.nsPerOp, delta, allocsDelta(o, c))
+			if guardRE.MatchString(n) && o.allocs >= 0 && c.allocs > o.allocs {
+				failed = true
+				fmt.Fprintf(w, "FAIL: %s allocs/op regressed: %.0f -> %.0f\n",
+					n, o.allocs, c.allocs)
+			}
+		}
+	}
+	if failed {
+		w.Flush()
+		os.Exit(1)
+	}
+}
+
+func allocsStr(r result) string {
+	if r.allocs < 0 {
+		return ""
+	}
+	return strconv.FormatFloat(r.allocs, 'f', -1, 64)
+}
+
+func allocsDelta(o, c result) string {
+	if o.allocs < 0 || c.allocs < 0 {
+		return ""
+	}
+	return strings.TrimSpace(fmt.Sprintf("%s->%s", allocsStr(o), allocsStr(c)))
+}
