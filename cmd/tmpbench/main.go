@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"tieredmem/internal/experiments"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/report"
 	"tieredmem/internal/runner"
 	"tieredmem/internal/telemetry"
@@ -49,6 +50,7 @@ func main() {
 		scale     = flag.Int("scale", 0, "footprint scale shift")
 		period    = flag.Int("period", 16384, "base (default-rate) IBS op period")
 		gating    = flag.Bool("gating", true, "enable HWPC gating")
+		faults    = flag.String("faults", "", "fault-injection spec applied to every cell, e.g. 'ibs.drop=0.05,mem.enomem=0.2' or 'all=0.1' (see ROBUSTNESS.md)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all eight)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for independent experiment cells (1 = sequential; output is byte-identical at any setting)")
 		stats     = flag.Bool("stats", true, "print per-experiment worker-pool stats to stderr")
@@ -67,6 +69,10 @@ func main() {
 		}
 		defer stop()
 	}
+	faultSpec, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fatal(err)
+	}
 	opts := experiments.Options{
 		Seed:       *seed,
 		ScaleShift: *scale,
@@ -75,6 +81,7 @@ func main() {
 		Gating:     *gating,
 		Parallel:   *parallel,
 		Trace:      *tracOut != "" || *evtsOut != "" || *metrics,
+		Faults:     faultSpec,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
@@ -192,6 +199,19 @@ func renderMetrics(suite *experiments.Suite, hostReg *telemetry.Registry) string
 		rows := cp.Telemetry.Attribution(cp.Result.DurationNS, cp.Result.NumCores)
 		b.WriteString(report.AttributionTable("Virtual-time attribution: "+cp.Label(), rows).Render())
 		b.WriteString("\n\n")
+		// Fault-attribution section: present only when a fault plane
+		// registered its counters (a -faults run), deterministic like
+		// the rest of the virtual-time stream.
+		var fr []report.FaultRow
+		for _, cv := range cp.Telemetry.Registry().Totals() {
+			if strings.HasPrefix(cv.Name, "fault/") || strings.HasPrefix(cv.Name, "mover/failed") || strings.HasPrefix(cv.Name, "mover/retr") {
+				fr = append(fr, report.FaultRow{Name: cv.Name, Value: cv.Value})
+			}
+		}
+		if len(fr) > 0 {
+			b.WriteString(report.FaultTable("Fault attribution: "+cp.Label(), fr).Render())
+			b.WriteString("\n\n")
+		}
 	}
 	if totals := hostReg.Totals(); len(totals) > 0 {
 		t := report.NewTable("Host pool counters (wall clock; not deterministic)", "counter", "value")

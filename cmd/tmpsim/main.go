@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/emul"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/report"
 	"tieredmem/internal/runner"
@@ -43,6 +45,7 @@ func main() {
 		scale    = flag.Int("scale", 0, "footprint scale shift")
 		period   = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
 		useEmul  = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
+		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'ibs.drop=0.05,mem.enomem=0.2' or 'all=0.1' (see ROBUSTNESS.md); same seed + same spec reproduces the run byte-for-byte")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for the baseline/placement arms (1 = sequential; output is identical)")
 		tracOut  = flag.String("trace", "", "write a Chrome trace_viewer JSON (virtual-time flamegraph; open in chrome://tracing or Perfetto)")
 		evtsOut  = flag.String("events", "", "write the structured JSONL event log")
@@ -62,6 +65,10 @@ func main() {
 	traceOn := *tracOut != "" || *evtsOut != "" || *metrics
 
 	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	faultSpec, err := fault.ParseSpec(*faults)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,16 +102,26 @@ func main() {
 	// exported runs list follows submission order, so telemetry files
 	// are byte-identical at any width too.
 	var runs []telemetry.Labeled
+	var planes []*fault.Plane
 	arm := func(label string, p policy.Policy) runner.Job[sim.PlacementResult] {
 		var tr *telemetry.Tracer
 		if traceOn {
 			tr = telemetry.New()
 			runs = append(runs, telemetry.Labeled{Label: label, Tracer: tr})
 		}
+		// Like the tracer, a fault plane belongs to exactly one run:
+		// each arm derives a private plane from the same seed + spec,
+		// which keeps arms independent of pool width.
+		var fp *fault.Plane
+		if !faultSpec.Zero() {
+			fp = fault.New(faultSpec, *seed)
+		}
+		planes = append(planes, fp)
 		return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
 			cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
 			cfg.EmulCosts = costs
 			cfg.Tracer = tr
+			cfg.Faults = fp
 			return sim.RunPlacement(cfg, mk())
 		}}
 	}
@@ -139,6 +156,21 @@ func main() {
 		}
 		fmt.Printf("speedup over first-touch: %.3fx\n",
 			float64(base.DurationNS)/float64(placed.DurationNS))
+	}
+
+	if !faultSpec.Zero() {
+		// Fault-attribution section: what the plane injected into each
+		// arm and how the mover/profiler absorbed it. Same seed + same
+		// spec reproduces these numbers exactly.
+		for i, r := range results {
+			tab := report.FaultTable(
+				fmt.Sprintf("\nFault attribution (%s, spec %q): %s", jobs[i].Name, faultSpec, r.Arm),
+				sim.FaultAttribution(planes[i], r))
+			fmt.Println(tab.Render())
+			if len(r.Quarantined) > 0 {
+				fmt.Printf("quarantined: %s\n", strings.Join(r.Quarantined, ", "))
+			}
+		}
 	}
 
 	if *metrics {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/pagetable"
 	"tieredmem/internal/telemetry"
@@ -51,6 +52,18 @@ type Stats struct {
 	PagesAccessed uint64 // leaf PTEs found with A set across all scans
 	HugeAccessed  uint64 // of those, 2 MiB leaves
 	OverheadNS    int64
+
+	// Aborts counts scans the fault plane cut short mid-walk. An
+	// aborted scan harvests (and clears) only a prefix of the mapped
+	// leaves, so its evidence under-reports every region after the
+	// abort point.
+	Aborts uint64
+}
+
+// FaultRate returns injected-fault failures over attempts for the
+// profiler's quarantine arithmetic: aborted scans over scans run.
+func (s Stats) FaultRate() (failures, attempts uint64) {
+	return s.Aborts, s.Scans
 }
 
 // LeafObserver is notified of every leaf PTE found with its A bit set
@@ -65,8 +78,13 @@ type Scanner struct {
 	machine  *cpu.Machine
 	stats    Stats
 	disabled bool
-	nextScan int64
-	onLeaf   LeafObserver
+	// quarantined is the sticky disabled state: once the profiler
+	// parks the mechanism here, no Enable may resurrect it.
+	quarantined bool
+	nextScan    int64
+	onLeaf      LeafObserver
+	// faults, when non-nil, can abort walks partway.
+	faults *fault.Plane
 
 	// Telemetry (nil handles no-op when telemetry is off).
 	tel         *telemetry.Tracer
@@ -100,14 +118,35 @@ func New(cfg Config, m *cpu.Machine) (*Scanner, error) {
 	return &Scanner{cfg: cfg, machine: m, nextScan: cfg.Interval}, nil
 }
 
-// Enable resumes scanning (HWPC gating toggles this).
-func (s *Scanner) Enable() { s.disabled = false }
+// Enable resumes scanning (HWPC gating toggles this); a no-op once the
+// scanner is quarantined.
+func (s *Scanner) Enable() {
+	if s.quarantined {
+		return
+	}
+	s.disabled = false
+}
 
 // Disable pauses scanning.
 func (s *Scanner) Disable() { s.disabled = true }
 
 // Enabled reports whether scans run.
 func (s *Scanner) Enabled() bool { return !s.disabled }
+
+// Quarantine disables scanning permanently: the profiler decided this
+// mechanism's fault rate makes its evidence corrupt. Unlike Disable,
+// no later Enable reverses it.
+func (s *Scanner) Quarantine() {
+	s.quarantined = true
+	s.disabled = true
+}
+
+// Quarantined reports whether the scanner is permanently off.
+func (s *Scanner) Quarantined() bool { return s.quarantined }
+
+// SetFaultPlane attaches the fault-injection plane. nil (the default)
+// injects nothing.
+func (s *Scanner) SetFaultPlane(p *fault.Plane) { s.faults = p }
 
 // Due reports whether a scan is due at virtual time now.
 func (s *Scanner) Due(now int64) bool { return now >= s.nextScan }
@@ -118,6 +157,9 @@ type ScanResult struct {
 	PagesAccessed int // leaf PTEs with A set (a huge leaf counts once)
 	HugeAccessed  int
 	CostNS        int64
+	// Aborted marks a scan the fault plane cut short: only a prefix of
+	// the mapped leaves was visited (and only their A bits cleared).
+	Aborted bool
 }
 
 // SetLeafObserver registers the per-leaf observation hook.
@@ -152,12 +194,38 @@ func (s *Scanner) ScanIfDue(now int64, pids []int) (ScanResult, bool) {
 func (s *Scanner) Scan(now int64, pids []int) ScanResult {
 	var res ScanResult
 	phys := s.machine.Phys
+	// budget < 0 means unlimited. When the fault plane aborts this
+	// scan, the walk bails after visiting frac of the mapped leaves:
+	// the cost of the visited prefix is still paid, A bits after the
+	// abort point stay set (and will be re-harvested next round), and
+	// every region past the abort is simply invisible this epoch.
+	budget := -1
+	if frac, abort := s.faults.AbortAbitScan(); abort {
+		total := 0
+		for _, pid := range pids {
+			if table, ok := s.machine.Tables()[pid]; ok {
+				total += table.Mapped()
+			}
+		}
+		budget = int(frac * float64(total))
+		res.Aborted = true
+		s.stats.Aborts++
+	}
 	for _, pid := range pids {
+		if budget == 0 {
+			break
+		}
 		table, ok := s.machine.Tables()[pid]
 		if !ok {
 			continue
 		}
 		visited := table.WalkRange(func(vpn mem.VPN, pte *pagetable.PTE, huge bool) bool {
+			if budget == 0 {
+				return false
+			}
+			if budget > 0 {
+				budget--
+			}
 			if !pte.Accessed() {
 				return true
 			}

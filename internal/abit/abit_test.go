@@ -5,6 +5,7 @@ import (
 
 	"tieredmem/internal/cache"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/tlb"
 	"tieredmem/internal/trace"
@@ -191,5 +192,92 @@ func TestBadConfig(t *testing.T) {
 	}
 	if _, err := New(Config{Interval: 1, PerPTECost: -1}, m); err == nil {
 		t.Errorf("negative cost accepted")
+	}
+}
+
+func TestFaultAbortedScanVisitsPrefix(t *testing.T) {
+	m := testMachine(t, 256)
+	sc, _ := New(DefaultConfig(), m)
+	const pages = 50
+	for i := uint64(0); i < pages; i++ {
+		touch(t, m, 1, i*4096)
+	}
+	spec, _ := fault.ParseSpec("abit.abort=1")
+	sc.SetFaultPlane(fault.New(spec, 11))
+	res := sc.Scan(0, []int{1})
+	if !res.Aborted {
+		t.Fatalf("rate-1 abort did not fire")
+	}
+	if res.PTEsVisited >= pages {
+		t.Errorf("aborted scan visited all %d PTEs", res.PTEsVisited)
+	}
+	if sc.Stats().Aborts != 1 {
+		t.Errorf("Aborts = %d, want 1", sc.Stats().Aborts)
+	}
+	// A bits past the abort point survived: a clean rescan finds the
+	// un-harvested remainder (and only it).
+	sc.SetFaultPlane(nil)
+	res2 := sc.Scan(0, []int{1})
+	if got := res.PagesAccessed + res2.PagesAccessed; got != pages {
+		t.Errorf("aborted + clean scans harvested %d pages, want %d", got, pages)
+	}
+	if res2.PagesAccessed == 0 {
+		t.Errorf("abort left nothing for the rescan; abort landed after the last page")
+	}
+}
+
+func TestFaultAbortDeterministic(t *testing.T) {
+	spec, _ := fault.ParseSpec("abit.abort=0.5")
+	run := func() []int {
+		m := testMachine(t, 256)
+		sc, _ := New(DefaultConfig(), m)
+		for i := uint64(0); i < 40; i++ {
+			touch(t, m, 1, i*4096)
+		}
+		sc.SetFaultPlane(fault.New(spec, 5))
+		var visited []int
+		for e := 0; e < 8; e++ {
+			res := sc.Scan(int64(e), []int{1})
+			visited = append(visited, res.PTEsVisited)
+		}
+		return visited
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at scan %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestQuarantineSticky(t *testing.T) {
+	m := testMachine(t, 64)
+	sc, _ := New(DefaultConfig(), m)
+	touch(t, m, 1, 0x1000)
+	sc.Quarantine()
+	if !sc.Quarantined() || sc.Enabled() {
+		t.Fatalf("Quarantine did not disable")
+	}
+	sc.Enable() // HWPC gate reopening must not resurrect it
+	if sc.Enabled() {
+		t.Errorf("Enable resurrected a quarantined scanner")
+	}
+	if _, ran := sc.ScanIfDue(sc.Interval(), []int{1}); ran {
+		t.Errorf("quarantined scanner ran")
+	}
+}
+
+func TestZeroRatePlaneInertScan(t *testing.T) {
+	run := func(p *fault.Plane) ScanResult {
+		m := testMachine(t, 256)
+		sc, _ := New(DefaultConfig(), m)
+		for i := uint64(0); i < 30; i++ {
+			touch(t, m, 1, i*4096)
+		}
+		sc.SetFaultPlane(p)
+		return sc.Scan(0, []int{1})
+	}
+	if a, b := run(nil), run(fault.New(fault.Spec{}, 42)); a != b {
+		t.Errorf("zero-rate plane perturbed the scan: %+v vs %+v", a, b)
 	}
 }

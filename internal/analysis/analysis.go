@@ -125,6 +125,7 @@ func Analyzers() []*Analyzer {
 		FloatSum,
 		Exhaustive,
 		Telemetry,
+		FaultRand,
 	}
 }
 

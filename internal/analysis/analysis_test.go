@@ -112,6 +112,7 @@ func TestEpochAccount(t *testing.T) { runFixture(t, EpochAccount) }
 func TestFloatSum(t *testing.T)     { runFixture(t, FloatSum) }
 func TestExhaustive(t *testing.T)   { runFixture(t, Exhaustive) }
 func TestTelemetry(t *testing.T)    { runFixture(t, Telemetry) }
+func TestFaultRand(t *testing.T)    { runFixture(t, FaultRand) }
 
 // TestFixturesFailDriver asserts the driver contract on the fixture
 // set as a whole: analyzing the fixtures yields findings (a non-zero

@@ -17,6 +17,7 @@ import (
 	"tieredmem/internal/abit"
 	"tieredmem/internal/core/pageidx"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/hwpc"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
@@ -158,21 +159,36 @@ type Config struct {
 	EnablePML bool
 	// PML configures the engine when EnablePML is set.
 	PML pml.Config
+	// QuarantineThreshold is the fault rate (failures over attempts)
+	// above which the profiler permanently disables a monitoring
+	// mechanism and degrades ranks to the survivors. 0 disables
+	// quarantine entirely.
+	QuarantineThreshold float64
+	// QuarantineMinEvents is the minimum IBS sample-attempt
+	// population before its fault rate is judged — small denominators
+	// are noise, and quarantine is irreversible.
+	QuarantineMinEvents uint64
+	// QuarantineMinRounds is the minimum scan/window population
+	// before the A-bit and HWPC fault rates are judged.
+	QuarantineMinRounds uint64
 }
 
 // DefaultConfig returns the paper's production settings at a given IBS
 // op period.
 func DefaultConfig(ibsPeriod int) Config {
 	return Config{
-		IBS:            ibs.DefaultConfig(ibsPeriod),
-		Abit:           abit.DefaultConfig(),
-		HWPC:           hwpc.DefaultConfig(),
-		Gating:         true,
-		CPUFilterMin:   0.05,
-		MemFilterMin:   0.10,
-		FilterInterval: 1_000_000_000,
-		DaemonCore:     0,
-		PML:            pml.DefaultConfig(),
+		IBS:                 ibs.DefaultConfig(ibsPeriod),
+		Abit:                abit.DefaultConfig(),
+		HWPC:                hwpc.DefaultConfig(),
+		Gating:              true,
+		CPUFilterMin:        0.05,
+		MemFilterMin:        0.10,
+		FilterInterval:      1_000_000_000,
+		DaemonCore:          0,
+		PML:                 pml.DefaultConfig(),
+		QuarantineThreshold: 0.5,
+		QuarantineMinEvents: 200,
+		QuarantineMinRounds: 10,
 	}
 }
 
@@ -278,6 +294,14 @@ func New(cfg Config, m *cpu.Machine, usage UsageFunc) (*Profiler, error) {
 // SetSampleObserver registers a hook that sees every delivered trace
 // sample (after page-descriptor accumulation).
 func (p *Profiler) SetSampleObserver(fn func(s trace.Sample)) { p.onSample = fn }
+
+// SetFaultPlane attaches the fault-injection plane to every monitoring
+// engine the profiler owns. nil (the default) injects nothing.
+func (p *Profiler) SetFaultPlane(f *fault.Plane) {
+	p.IBS.SetFaultPlane(f)
+	p.Abit.SetFaultPlane(f)
+	p.Monitor.SetFaultPlane(f)
+}
 
 // Register tells the daemon about a program's process (the user adds a
 // program; the daemon collects PIDs of everything it forks).
@@ -396,10 +420,75 @@ func (p *Profiler) HarvestEpochInto(dst *EpochStats) {
 		pd.ResetEpoch()
 	})
 	p.epoch++
+	p.checkQuarantine(p.machine.Now())
 	if p.tel.Enabled() {
 		p.ctrHarvested.Add(uint64(len(dst.Pages)))
 		p.tel.CutEpoch(p.machine.Now(), len(dst.Pages))
 	}
+}
+
+// checkQuarantine judges each mechanism's fault rate at the epoch
+// boundary and permanently disables any whose failures exceed the
+// threshold — the profiler would rather run on one clean evidence
+// source than blend in a corrupt one. Judged in a fixed order (ibs,
+// abit, hwpc) so a run's quarantine sequence is deterministic.
+func (p *Profiler) checkQuarantine(now int64) {
+	thr := p.cfg.QuarantineThreshold
+	if thr <= 0 {
+		return
+	}
+	if !p.IBS.Quarantined() {
+		if lost, attempts := p.IBS.Stats().FaultRate(); attempts >= p.cfg.QuarantineMinEvents && float64(lost) > thr*float64(attempts) {
+			p.IBS.Quarantine()
+			p.tel.EmitQuarantine(now, "ibs", lost, attempts)
+		}
+	}
+	if !p.Abit.Quarantined() {
+		if failures, attempts := p.Abit.Stats().FaultRate(); attempts >= p.cfg.QuarantineMinRounds && float64(failures) > thr*float64(attempts) {
+			p.Abit.Quarantine()
+			p.tel.EmitQuarantine(now, "abit", failures, attempts)
+		}
+	}
+	if !p.Monitor.Quarantined() {
+		if failures, attempts := p.Monitor.FaultRate(); attempts >= p.cfg.QuarantineMinRounds && float64(failures) > thr*float64(attempts) {
+			p.Monitor.Quarantine()
+			p.tel.EmitQuarantine(now, "hwpc", failures, attempts)
+		}
+	}
+}
+
+// EffectiveMethod degrades a requested ranking method to the surviving
+// evidence source when quarantine has removed one: tmp falls back to
+// the clean arm, and a single-arm method whose mechanism is gone falls
+// back to the other. With both sources quarantined there is nothing
+// better to offer and the request passes through unchanged.
+func (p *Profiler) EffectiveMethod(m Method) Method {
+	ibsOut, abitOut := p.IBS.Quarantined(), p.Abit.Quarantined()
+	switch {
+	case ibsOut && abitOut:
+		return m
+	case ibsOut && (m == MethodTrace || m == MethodCombined):
+		return MethodAbit
+	case abitOut && (m == MethodAbit || m == MethodCombined):
+		return MethodTrace
+	}
+	return m
+}
+
+// QuarantinedMechanisms lists the permanently disabled mechanisms in
+// fixed (ibs, abit, hwpc) order, for reports.
+func (p *Profiler) QuarantinedMechanisms() []string {
+	var out []string
+	if p.IBS.Quarantined() {
+		out = append(out, "ibs")
+	}
+	if p.Abit.Quarantined() {
+		out = append(out, "abit")
+	}
+	if p.Monitor.Quarantined() {
+		out = append(out, "hwpc")
+	}
+	return out
 }
 
 // Epoch returns the index of the epoch currently being collected.

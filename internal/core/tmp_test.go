@@ -5,7 +5,9 @@ import (
 
 	"tieredmem/internal/cache"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/telemetry"
 	"tieredmem/internal/tlb"
 	"tieredmem/internal/trace"
 )
@@ -232,5 +234,104 @@ func TestOverheadNSAccessors(t *testing.T) {
 	ibsNS, abitNS, hwpcNS := p.OverheadNS()
 	if ibsNS != 0 || abitNS != 0 || hwpcNS != 0 {
 		t.Errorf("fresh profiler reports overhead %d/%d/%d", ibsNS, abitNS, hwpcNS)
+	}
+}
+
+func TestQuarantineDegradesToSurvivor(t *testing.T) {
+	m := testMachine(t, 64)
+	cfg := smallConfig()
+	cfg.IBS.Period = 1
+	cfg.Gating = false
+	cfg.QuarantineMinEvents = 10
+	p, _ := New(cfg, m, nil)
+	p.Register(1)
+	// Every delivered sample drops: the IBS fault rate is 100%.
+	spec, _ := fault.ParseSpec("ibs.drop=1")
+	p.SetFaultPlane(fault.New(spec, 1))
+	tr := telemetry.New()
+	p.SetTracer(tr)
+	for i := uint64(0); i < 32; i++ {
+		m.Execute(trace.Ref{PID: 1, VAddr: i * 4096, Kind: trace.Load})
+	}
+	p.HarvestEpoch()
+	if !p.IBS.Quarantined() {
+		t.Fatalf("100%%-lossy IBS not quarantined (drops=%d)", p.IBS.Stats().FaultDrops)
+	}
+	if got := p.EffectiveMethod(MethodCombined); got != MethodAbit {
+		t.Errorf("EffectiveMethod(tmp) = %v, want abit", got)
+	}
+	if got := p.EffectiveMethod(MethodTrace); got != MethodAbit {
+		t.Errorf("EffectiveMethod(ibs) = %v, want abit", got)
+	}
+	if got := p.EffectiveMethod(MethodAbit); got != MethodAbit {
+		t.Errorf("EffectiveMethod(abit) = %v, want abit unchanged", got)
+	}
+	if qs := p.QuarantinedMechanisms(); len(qs) != 1 || qs[0] != "ibs" {
+		t.Errorf("QuarantinedMechanisms = %v, want [ibs]", qs)
+	}
+	// The decision left its evidence in the event stream.
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == telemetry.KindQuarantine && e.Name == "ibs" {
+			found = true
+			if e.A == 0 || e.B == 0 {
+				t.Errorf("quarantine event has empty evidence: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no KindQuarantine event emitted")
+	}
+}
+
+func TestQuarantineNeedsMinimumEvidence(t *testing.T) {
+	m := testMachine(t, 64)
+	cfg := smallConfig()
+	cfg.IBS.Period = 1
+	cfg.Gating = false
+	cfg.QuarantineMinEvents = 1000 // far more than this test generates
+	p, _ := New(cfg, m, nil)
+	p.Register(1)
+	spec, _ := fault.ParseSpec("ibs.drop=1")
+	p.SetFaultPlane(fault.New(spec, 1))
+	for i := uint64(0); i < 8; i++ {
+		m.Execute(trace.Ref{PID: 1, VAddr: i * 4096, Kind: trace.Load})
+	}
+	p.HarvestEpoch()
+	if p.IBS.Quarantined() {
+		t.Errorf("quarantined on %d attempts, below the %d minimum",
+			8, cfg.QuarantineMinEvents)
+	}
+}
+
+func TestQuarantineDisabledAtZeroThreshold(t *testing.T) {
+	m := testMachine(t, 64)
+	cfg := smallConfig()
+	cfg.IBS.Period = 1
+	cfg.Gating = false
+	cfg.QuarantineThreshold = 0
+	cfg.QuarantineMinEvents = 1
+	p, _ := New(cfg, m, nil)
+	p.Register(1)
+	spec, _ := fault.ParseSpec("ibs.drop=1")
+	p.SetFaultPlane(fault.New(spec, 1))
+	for i := uint64(0); i < 32; i++ {
+		m.Execute(trace.Ref{PID: 1, VAddr: i * 4096, Kind: trace.Load})
+	}
+	p.HarvestEpoch()
+	if p.IBS.Quarantined() {
+		t.Errorf("quarantine fired with threshold 0 (disabled)")
+	}
+}
+
+func TestEffectiveMethodBothQuarantined(t *testing.T) {
+	m := testMachine(t, 64)
+	p, _ := New(smallConfig(), m, nil)
+	p.IBS.Quarantine()
+	p.Abit.Quarantine()
+	for _, meth := range Methods {
+		if got := p.EffectiveMethod(meth); got != meth {
+			t.Errorf("EffectiveMethod(%v) = %v with nothing to degrade to", meth, got)
+		}
 	}
 }

@@ -92,6 +92,7 @@ func Colocation(opts Options, idlerCount int) (ColocationResult, error) {
 		}
 		cfg := sim.DefaultConfig(w, ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x), opts.Refs)
 		cfg.TMP.Gating = opts.Gating
+		cfg.Faults = opts.faultPlane()
 		if filtered {
 			cfg.Usage = usage
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/order"
@@ -57,6 +58,22 @@ type Options struct {
 	// Telemetry is inert (results are byte-identical either way); the
 	// recorded streams come back via Capture.Telemetry / Suite.Traces.
 	Trace bool
+	// Faults is the suite-wide fault-injection spec (tmpbench
+	// -faults); the zero value injects nothing. Every cell derives a
+	// private plane from (Faults, Seed), so cells stay pure functions
+	// of their config and parallel == sequential still holds under
+	// injection.
+	Faults fault.Spec
+}
+
+// faultPlane derives one cell's private fault plane; nil (inert) when
+// the spec is zero. The sim layer attaches telemetry counters when the
+// cell is traced.
+func (o Options) faultPlane() *fault.Plane {
+	if o.Faults.Zero() {
+		return nil
+	}
+	return fault.New(o.Faults, o.Seed)
 }
 
 // DefaultOptions returns the laptop-scale defaults used by tests and
@@ -151,6 +168,7 @@ func Profile(opts Options, name string, rate int) (*Capture, error) {
 	if opts.Trace {
 		cfg.Tracer = telemetry.New()
 	}
+	cfg.Faults = opts.faultPlane()
 	r, err := sim.New(cfg, w)
 	if err != nil {
 		return nil, err

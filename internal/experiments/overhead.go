@@ -102,6 +102,7 @@ func runDuration(opts Options, name string, mutate func(*sim.Config)) (int64, er
 		return 0, err
 	}
 	cfg := sim.DefaultConfig(w, opts.BasePeriod, opts.Refs)
+	cfg.Faults = opts.faultPlane()
 	mutate(&cfg)
 	r, err := sim.New(cfg, w)
 	if err != nil {

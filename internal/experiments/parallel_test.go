@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"tieredmem/internal/fault"
 	"tieredmem/internal/runner"
 )
 
@@ -81,6 +82,35 @@ func TestParallelEqualsSequentialOverhead(t *testing.T) {
 	par := render(8)
 	if seq != par {
 		t.Fatalf("overhead output differs between -parallel 1 and -parallel 8:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+// TestParallelEqualsSequentialFaulted extends the width-equivalence
+// contract to chaos runs: every cell builds a private fault plane from
+// the shared (spec, seed), so injection sequences — and therefore
+// failed migrations, retries, and quarantines — cannot depend on pool
+// width or cell scheduling order.
+func TestParallelEqualsSequentialFaulted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement runs are slow")
+	}
+	spec, err := fault.ParseSpec("all=0.1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	render := func(parallel int) string {
+		o := parallelTestOptions(parallel, "gups", "web-serving")
+		o.Faults = spec
+		res, err := Speedup(o)
+		if err != nil {
+			t.Fatalf("Speedup(parallel=%d): %v", parallel, err)
+		}
+		return RenderSpeedup(res)
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("faulted speedup output differs between -parallel 1 and -parallel 8:\nsequential:\n%s\nparallel:\n%s", seq, par)
 	}
 }
 

@@ -74,6 +74,7 @@ func speedupArm(opts Options, name string, history, useEmul bool) (sim.Placement
 	period := ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
 	cfg := sim.DefaultPlacementConfig(w, period, opts.Refs, ratio, p, core.MethodCombined)
 	cfg.EmulCosts = costs
+	cfg.Faults = opts.faultPlane()
 	return sim.RunPlacement(cfg, w)
 }
 

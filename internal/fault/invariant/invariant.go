@@ -1,0 +1,193 @@
+// Package invariant asserts the cross-layer conservation laws that
+// must survive any epoch, faulted or not: physical frames are neither
+// lost nor duplicated, every page-table mapping points at exactly one
+// allocated frame whose descriptor points back, per-tier accounting
+// conserves capacity, and the mover's failure counters partition its
+// aggregate. The chaos suite runs a Checker after every epoch under
+// fault injection — a fault plane is allowed to make migrations fail,
+// never to corrupt placement state.
+//
+// The checker only reads; it never mutates simulator state, so a
+// checked run is byte-identical to an unchecked one.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tieredmem/internal/mem"
+	"tieredmem/internal/pagetable"
+	"tieredmem/internal/policy"
+)
+
+// maxViolations bounds one Check's report; past this the epoch is
+// thoroughly broken and more lines would not help.
+const maxViolations = 8
+
+// Checker verifies epoch invariants. It keeps per-PFN scratch between
+// calls (epoch-stamped, so it is never cleared), making the per-epoch
+// cost one pass over the mapped pages plus one over the frame arrays.
+// Not safe for concurrent use; parallel cells each own one.
+type Checker struct {
+	stamp uint32
+	owner []ownerMark
+}
+
+// ownerMark records which mapping claimed a frame during the current
+// Check pass; stale stamps mean "unclaimed this pass".
+type ownerMark struct {
+	stamp uint32
+	pid   int
+	vpn   mem.VPN
+}
+
+// New builds a Checker.
+func New() *Checker { return &Checker{} }
+
+// Violation is one broken invariant; Error joins all of them, so a
+// single failed epoch reports every law it broke at once.
+type Violation struct {
+	// Rule names the invariant ("tier-conservation", "duplicate-frame",
+	// "dangling-mapping", "descriptor-mismatch", "leaked-frame",
+	// "mover-accounting").
+	Rule string
+	// Detail locates the breakage.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Error wraps the violations of one failed Check.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		parts[i] = v.String()
+	}
+	return "invariant: " + strings.Join(parts, "; ")
+}
+
+// Check asserts every epoch invariant against the machine's physical
+// memory, the page tables, and (when non-nil) the mover's accounting.
+// It returns nil when all hold, or an *Error listing up to
+// maxViolations breakages. Tables are visited in ascending-PID order
+// so the report for a given broken state is deterministic.
+func (c *Checker) Check(phys *mem.PhysMem, tables map[int]*pagetable.Table, mv *policy.Mover) error {
+	var e Error
+	add := func(rule, format string, args ...interface{}) bool {
+		if len(e.Violations) < maxViolations {
+			e.Violations = append(e.Violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+		}
+		return len(e.Violations) < maxViolations
+	}
+
+	total := phys.TotalFrames()
+	if len(c.owner) < total {
+		c.owner = make([]ownerMark, total)
+		c.stamp = 0
+	}
+	c.stamp++
+	stamp := c.stamp
+
+	// 1. Tier conservation: used + free == capacity, per tier.
+	totalUsed := 0
+	for t := 0; t < phys.Tiers(); t++ {
+		id := mem.TierID(t)
+		used, free := phys.UsedFrames(id), phys.FreeFrames(id)
+		cap := phys.TierSpecOf(id).Frames
+		totalUsed += used
+		if used+free != cap {
+			add("tier-conservation", "tier %d (%s): used %d + free %d != capacity %d",
+				t, phys.TierSpecOf(id).Name, used, free, cap)
+		}
+	}
+
+	// 2. Mapping -> frame: every present leaf resolves to allocated
+	// frames whose descriptors point back, and no frame is mapped
+	// twice (by one table or across tables).
+	pids := make([]int, 0, len(tables))
+	for pid := range tables {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	mapped := 0
+	for _, pid := range pids {
+		table := tables[pid]
+		table.WalkRange(func(vpn mem.VPN, pte *pagetable.PTE, huge bool) bool {
+			span := 1
+			if huge {
+				span = mem.HugePages
+			}
+			base := pte.PFN()
+			for i := 0; i < span; i++ {
+				pfn, pv := base+mem.PFN(i), vpn+mem.VPN(i)
+				if int(pfn) >= total {
+					return add("dangling-mapping", "pid %d vpn %#x -> PFN %d beyond physical memory (%d frames)",
+						pid, uint64(pv), pfn, total)
+				}
+				mapped++
+				own := &c.owner[pfn]
+				if own.stamp == stamp {
+					if !add("duplicate-frame", "PFN %d mapped by pid %d vpn %#x and pid %d vpn %#x",
+						pfn, own.pid, uint64(own.vpn), pid, uint64(pv)) {
+						return false
+					}
+					continue
+				}
+				*own = ownerMark{stamp: stamp, pid: pid, vpn: pv}
+				pd := phys.Page(pfn)
+				if !pd.Allocated() {
+					if !add("dangling-mapping", "pid %d vpn %#x -> PFN %d which is free", pid, uint64(pv), pfn) {
+						return false
+					}
+					continue
+				}
+				if pd.PID != pid || pd.VPage != pv || pd.Frame != pfn {
+					if !add("descriptor-mismatch", "PFN %d descriptor says pid=%d vpn=%#x frame=%d, mapping says pid=%d vpn=%#x",
+						pfn, pd.PID, uint64(pd.VPage), pd.Frame, pid, uint64(pv)) {
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// 3. Frame -> mapping: an allocated frame no mapping claimed this
+	// pass leaked (lost page). Counting both directions plus the
+	// duplicate check above makes mapping <-> allocated-frame a
+	// bijection.
+	if mapped != totalUsed && len(e.Violations) < maxViolations {
+		phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
+			if c.owner[pd.Frame].stamp != stamp {
+				add("leaked-frame", "PFN %d allocated (pid %d vpn %#x, tier %d) but mapped by no page table",
+					pd.Frame, pd.PID, uint64(pd.VPage), pd.Tier)
+			}
+		})
+	}
+
+	// 4. Mover accounting: the per-reason counters partition the
+	// aggregate, retry outcomes never exceed attempts, and the queue
+	// respects its bound.
+	if mv != nil {
+		if sum := mv.FailedCapacity + mv.FailedPinned + mv.FailedVanished + mv.FailedSplit; sum != mv.Failed {
+			add("mover-accounting", "Failed %d != capacity %d + pinned %d + vanished %d + split %d",
+				mv.Failed, mv.FailedCapacity, mv.FailedPinned, mv.FailedVanished, mv.FailedSplit)
+		}
+		if mv.RetrySucceeded > mv.Retried {
+			add("mover-accounting", "RetrySucceeded %d > Retried %d", mv.RetrySucceeded, mv.Retried)
+		}
+		if mv.RetryQueueLen() > mv.RetryQueueCap {
+			add("mover-accounting", "retry queue length %d exceeds cap %d", mv.RetryQueueLen(), mv.RetryQueueCap)
+		}
+	}
+
+	if len(e.Violations) > 0 {
+		return &e
+	}
+	return nil
+}

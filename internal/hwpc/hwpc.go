@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/pmu"
 	"tieredmem/internal/telemetry"
 )
@@ -50,6 +51,11 @@ type gauge struct {
 	target   Toggleable
 	// toggles counts on/off transitions applied to the target.
 	toggles uint64
+	// wraps counts windows whose read went backwards (counter
+	// wraparound); resync marks the clean window after a wrap, which
+	// re-baselines last without judging activity.
+	wraps  uint64
+	resync bool
 }
 
 // Monitor is the gating engine.
@@ -62,6 +68,15 @@ type Monitor struct {
 	// cost.
 	Reads      uint64
 	OverheadNS int64
+	// Wraps counts gauge windows discarded because the counter read
+	// went backwards (injected wraparound). Each wrap also forfeits
+	// the following window to re-baselining.
+	Wraps uint64
+	// quarantined permanently stops window evaluation; the monitor
+	// fails open (all targets enabled, no further gating).
+	quarantined bool
+	// faults, when non-nil, can corrupt counter reads.
+	faults *fault.Plane
 
 	// Memory-bandwidth monitoring (the resctrl MBM feature the
 	// paper's footnote 3 mentions): bytes fetched from memory per
@@ -126,7 +141,7 @@ func (mo *Monitor) Due(now int64) bool { return now >= mo.next }
 // registered targets. It returns the cost to charge the daemon core
 // and whether a pass ran.
 func (mo *Monitor) TickIfDue(now int64) (int64, bool) {
-	if !mo.Due(now) {
+	if mo.quarantined || !mo.Due(now) {
 		return 0, false
 	}
 	for mo.next <= now {
@@ -149,6 +164,27 @@ func (mo *Monitor) TickIfDue(now int64) (int64, bool) {
 
 	for _, g := range mo.gauges {
 		cur := mo.machineCount(g.event)
+		if g.last > 0 && mo.faults.WrapHWPC() {
+			// Injected wraparound: the counter overflowed between
+			// window edges, so this read lands below the previous one.
+			cur = g.last / 2
+		}
+		if cur < g.last {
+			// The count went backwards — a wrap. The window's delta is
+			// garbage: discard it without touching maxDelta or the
+			// gate, and spend the next window re-baselining (the delta
+			// from a wrapped baseline would be just as corrupt).
+			g.wraps++
+			mo.Wraps++
+			g.last = cur
+			g.resync = true
+			continue
+		}
+		if g.resync {
+			g.resync = false
+			g.last = cur
+			continue
+		}
 		delta := cur - g.last
 		g.last = cur
 		if delta > g.maxDelta {
@@ -184,19 +220,50 @@ func (mo *Monitor) TickIfDue(now int64) (int64, bool) {
 	return readCost, true
 }
 
+// SetFaultPlane attaches the fault-injection plane. nil (the default)
+// injects nothing.
+func (mo *Monitor) SetFaultPlane(p *fault.Plane) { mo.faults = p }
+
+// FaultRate returns wrapped gauge windows over gauge windows read, for
+// the profiler's quarantine arithmetic.
+func (mo *Monitor) FaultRate() (failures, attempts uint64) {
+	return mo.Wraps, mo.Reads * uint64(len(mo.gauges))
+}
+
+// Quarantine permanently stops the monitor: gating evidence from a
+// wrap-prone counter is garbage, so the monitor fails open — every
+// gated target is re-enabled (unless itself quarantined) and no
+// further windows are evaluated or charged.
+func (mo *Monitor) Quarantine() {
+	mo.quarantined = true
+	for _, g := range mo.gauges {
+		if !g.active {
+			g.active = true
+			g.toggles++
+		}
+		if g.target != nil {
+			g.target.Enable()
+		}
+	}
+}
+
+// Quarantined reports whether the monitor is permanently off.
+func (mo *Monitor) Quarantined() bool { return mo.quarantined }
+
 // GaugeState describes one gauge for reporting.
 type GaugeState struct {
 	Event    pmu.Event
 	Active   bool
 	MaxDelta uint64
 	Toggles  uint64
+	Wraps    uint64
 }
 
 // States returns a snapshot of all gauges.
 func (mo *Monitor) States() []GaugeState {
 	out := make([]GaugeState, 0, len(mo.gauges))
 	for _, g := range mo.gauges {
-		out = append(out, GaugeState{Event: g.event, Active: g.active, MaxDelta: g.maxDelta, Toggles: g.toggles})
+		out = append(out, GaugeState{Event: g.event, Active: g.active, MaxDelta: g.maxDelta, Toggles: g.toggles, Wraps: g.wraps})
 	}
 	return out
 }

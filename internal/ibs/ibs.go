@@ -13,6 +13,7 @@ package ibs
 import (
 	"fmt"
 
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
@@ -112,6 +113,23 @@ type Stats struct {
 	FilteredPrefix uint64 // tags dropped because they hit prefetched lines
 	Drains         uint64
 	OverheadNS     int64 // total virtual time charged to cores
+
+	// Fault-plane injections (zero without a plane). FaultDrops are
+	// individual samples lost before reaching the ring;
+	// FaultOverflows are whole drain batches lost to buffer overruns,
+	// FaultLost the samples those batches held. The profiler's
+	// quarantine judges this mechanism by
+	// (FaultDrops+FaultLost) / (Delivered+FaultDrops+FaultLost).
+	FaultDrops     uint64
+	FaultOverflows uint64
+	FaultLost      uint64
+}
+
+// FaultRate returns the fraction of would-be-delivered samples lost to
+// injected faults.
+func (s Stats) FaultRate() (lost, attempts uint64) {
+	lost = s.FaultDrops + s.FaultLost
+	return lost, s.Delivered + s.FaultDrops
 }
 
 // Engine is the sampling engine. It implements cpu.RetireObserver.
@@ -122,6 +140,14 @@ type Engine struct {
 	toNext   int // ops until the next tag
 	rng      uint64
 	disabled bool
+	// quarantined is the sticky disabled state: the profiler parks a
+	// mechanism here when its injected-fault rate crosses the
+	// quarantine threshold, and no Enable (HWPC gate reopening
+	// included) may resurrect it.
+	quarantined bool
+	// faults, when non-nil, can drop delivered samples and lose drain
+	// batches.
+	faults *fault.Plane
 
 	// Accumulate attaches the TMP accumulation hook: it is invoked
 	// for every delivered sample at drain time with the page
@@ -188,8 +214,13 @@ func (e *Engine) SetAccumulator(fn func(s trace.Sample, pd *mem.PageDescriptor))
 	e.onAcc = fn
 }
 
-// Enable resumes sampling.
-func (e *Engine) Enable() { e.disabled = false }
+// Enable resumes sampling; a no-op once the engine is quarantined.
+func (e *Engine) Enable() {
+	if e.quarantined {
+		return
+	}
+	e.disabled = false
+}
 
 // Disable pauses sampling (HWPC gating: trace collection off during
 // cache-quiet phases).
@@ -197,6 +228,21 @@ func (e *Engine) Disable() { e.disabled = true }
 
 // Enabled reports whether sampling is active.
 func (e *Engine) Enabled() bool { return !e.disabled }
+
+// Quarantine disables sampling permanently: the profiler decided this
+// mechanism's fault rate makes its evidence corrupt. Unlike Disable,
+// no later Enable reverses it.
+func (e *Engine) Quarantine() {
+	e.quarantined = true
+	e.disabled = true
+}
+
+// Quarantined reports whether the engine is permanently off.
+func (e *Engine) Quarantined() bool { return e.quarantined }
+
+// SetFaultPlane attaches the fault-injection plane. nil (the default)
+// injects nothing.
+func (e *Engine) SetFaultPlane(p *fault.Plane) { e.faults = p }
 
 // ObserveRetire implements cpu.RetireObserver: advance the op counter
 // by the reference's op-group size and, when the period counter
@@ -254,6 +300,13 @@ func (e *Engine) recordSample(o *trace.Outcome) {
 		e.stats.FilteredPrefix++
 		return
 	}
+	if e.faults.DropIBSSample() {
+		// The hardware tagged the op but the record never made it to
+		// the ring (lost micro-interrupt). The tagging cost was still
+		// paid by the core; only the evidence is gone.
+		e.stats.FaultDrops++
+		return
+	}
 	e.stats.Delivered++
 	e.ring.Push(trace.SampleFromOutcome(o))
 }
@@ -269,6 +322,14 @@ func (e *Engine) drain() {
 		cost += e.cfg.PerSampleCost
 	}
 	e.stats.OverheadNS += cost
+	if len(e.drainBuf) > 0 && e.faults.OverflowIBSDrain() {
+		// Buffer overflow: the handler paid the copy-out cost but the
+		// records were overwritten mid-flight — the whole batch is
+		// lost before accumulation.
+		e.stats.FaultOverflows++
+		e.stats.FaultLost += uint64(len(e.drainBuf))
+		e.drainBuf = e.drainBuf[:0]
+	}
 	if e.tel.Enabled() {
 		dropped := e.ring.Dropped() - e.lastDropped
 		e.lastDropped = e.ring.Dropped()

@@ -3,6 +3,7 @@ package ibs
 import (
 	"testing"
 
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/trace"
 )
@@ -256,5 +257,95 @@ func TestBufferedThresholdChargesInterrupt(t *testing.T) {
 	}
 	if e.Stats().OverheadNS-before < cfg.PerSampleCost {
 		t.Errorf("threshold interrupt cost not charged")
+	}
+}
+
+func TestFaultDropsSamples(t *testing.T) {
+	spec, _ := fault.ParseSpec("ibs.drop=1")
+	cfg := DefaultConfig(1)
+	e, _ := New(cfg, nil)
+	e.SetFaultPlane(fault.New(spec, 1))
+	for i := 0; i < 10; i++ {
+		e.ObserveRetire(memOutcome(), 1)
+	}
+	s := e.Stats()
+	if s.Delivered != 0 || s.FaultDrops != 10 {
+		t.Errorf("delivered/dropped = %d/%d, want 0/10", s.Delivered, s.FaultDrops)
+	}
+	// Tagging overhead was still paid: the interrupt fired, only the
+	// record was lost.
+	if s.OverheadNS == 0 {
+		t.Errorf("dropped samples charged no tagging overhead")
+	}
+	if lost, attempts := s.FaultRate(); lost != 10 || attempts != 10 {
+		t.Errorf("FaultRate = %d/%d, want 10/10", lost, attempts)
+	}
+}
+
+func TestFaultDropDeterministic(t *testing.T) {
+	spec, _ := fault.ParseSpec("ibs.drop=0.5")
+	run := func(seed int64) Stats {
+		e, _ := New(DefaultConfig(1), nil)
+		e.SetFaultPlane(fault.New(spec, seed))
+		for i := 0; i < 200; i++ {
+			e.ObserveRetire(memOutcome(), 1)
+		}
+		return e.Stats()
+	}
+	if a, b := run(7), run(7); a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFaultOverflowLosesBatch(t *testing.T) {
+	spec, _ := fault.ParseSpec("ibs.overflow=1")
+	e, _ := New(DefaultConfig(1), nil)
+	e.SetFaultPlane(fault.New(spec, 1))
+	count := 0
+	e.SetAccumulator(func(s trace.Sample, pd *mem.PageDescriptor) { count++ })
+	for i := 0; i < 5; i++ {
+		e.ObserveRetire(memOutcome(), 1)
+	}
+	e.Flush()
+	s := e.Stats()
+	if count != 0 {
+		t.Errorf("accumulator saw %d samples from an overflowed batch", count)
+	}
+	if s.FaultOverflows != 1 || s.FaultLost != 5 {
+		t.Errorf("overflows/lost = %d/%d, want 1/5", s.FaultOverflows, s.FaultLost)
+	}
+	// The copy-out cost was paid before the loss was discovered.
+	if s.OverheadNS < 5*DefaultConfig(1).DrainCostPerSample {
+		t.Errorf("overflowed drain charged no copy-out cost")
+	}
+}
+
+func TestQuarantineSticky(t *testing.T) {
+	e, _ := New(DefaultConfig(1), nil)
+	e.Quarantine()
+	if !e.Quarantined() || e.Enabled() {
+		t.Fatalf("Quarantine did not disable")
+	}
+	e.Enable() // HWPC gate reopening must not resurrect it
+	if e.Enabled() {
+		t.Errorf("Enable resurrected a quarantined engine")
+	}
+	if e.ObserveRetire(memOutcome(), 1) != 0 || e.Stats().TaggedOps != 0 {
+		t.Errorf("quarantined engine still sampling")
+	}
+}
+
+func TestZeroRatePlaneInert(t *testing.T) {
+	run := func(p *fault.Plane) Stats {
+		e, _ := New(DefaultConfig(3), nil)
+		e.SetFaultPlane(p)
+		for i := 0; i < 300; i++ {
+			e.ObserveRetire(memOutcome(), 1)
+		}
+		e.Flush()
+		return e.Stats()
+	}
+	if a, b := run(nil), run(fault.New(fault.Spec{}, 42)); a != b {
+		t.Errorf("zero-rate plane perturbed the engine: %+v vs %+v", a, b)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+
+	"tieredmem/internal/fault"
 )
 
 func TestAddressMath(t *testing.T) {
@@ -130,11 +132,47 @@ func TestAllocOOM(t *testing.T) {
 func TestAllocInNoSpill(t *testing.T) {
 	pm := newTestMem(t, 1, 4)
 	pm.AllocIn(FastTier, 1, 0)
-	if _, err := pm.AllocIn(FastTier, 1, 1); !errors.Is(err, ErrOutOfMemory) {
+	_, err := pm.AllocIn(FastTier, 1, 1)
+	if !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("AllocIn spilled or wrong error: %v", err)
+	}
+	// The typed sentinel is what the mover's retry logic branches on.
+	if !errors.Is(err, ErrTierFull) {
+		t.Errorf("AllocIn error %v does not wrap ErrTierFull", err)
 	}
 	if pm.UsedFrames(SlowTier) != 0 {
 		t.Errorf("AllocIn leaked into slow tier")
+	}
+}
+
+func TestAllocInFaultInjection(t *testing.T) {
+	pm := newTestMem(t, 8, 8)
+	spec, err := fault.ParseSpec("mem.enomem=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm.SetFaultPlane(fault.New(spec, 42))
+	_, err = pm.AllocIn(FastTier, 1, 0)
+	if !errors.Is(err, ErrTierFull) {
+		t.Fatalf("injected AllocIn error = %v, want ErrTierFull", err)
+	}
+	// Injected pressure is transient and must not wrap the permanent
+	// out-of-frames condition: frames were free.
+	if errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("injected pressure wraps ErrOutOfMemory: %v", err)
+	}
+	if pm.UsedFrames(FastTier) != 0 {
+		t.Errorf("failed AllocIn claimed a frame")
+	}
+	// Demand allocation is never injected.
+	if _, err := pm.Alloc(FastTier, 1, 0); err != nil {
+		t.Errorf("Alloc under fault plane: %v", err)
+	}
+	// A zero-rate plane injects nothing.
+	pm2 := newTestMem(t, 1, 1)
+	pm2.SetFaultPlane(fault.New(fault.Spec{}, 42))
+	if _, err := pm2.AllocIn(FastTier, 1, 0); err != nil {
+		t.Errorf("zero-rate AllocIn: %v", err)
 	}
 }
 

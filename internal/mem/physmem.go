@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tieredmem/internal/fault"
 	"tieredmem/internal/telemetry"
 )
 
@@ -14,6 +15,24 @@ var ErrOutOfMemory = errors.New("mem: out of physical memory")
 // ErrNoContiguous is returned when a huge allocation cannot find a
 // contiguous, aligned run of free frames (the THP fallback condition).
 var ErrNoContiguous = errors.New("mem: no contiguous frame run for huge page")
+
+// Typed sentinel errors for the migration paths: callers branch with
+// errors.Is to decide whether a failure is transient (worth a deferred
+// retry) or permanent (drop the migration). Every error carries
+// context via %w wrapping; never match on message text.
+var (
+	// ErrTierFull is the no-spill allocation failure (AllocIn): the
+	// target tier has no free frame, or the fault plane injected
+	// transient allocation pressure. Transient — the mover retries.
+	ErrTierFull = errors.New("mem: tier full")
+	// ErrPinned marks a page that cannot be migrated right now
+	// (pinned for DMA, the EBUSY case). Transient.
+	ErrPinned = errors.New("mem: page pinned")
+	// ErrUnmapped marks a page whose mapping vanished out from under
+	// a migration (unmapped, remapped, or never mapped). Permanent —
+	// there is nothing left to move.
+	ErrUnmapped = errors.New("mem: page no longer mapped")
+)
 
 // HugePages is the number of base frames in one 2 MiB huge page.
 const HugePages = 512
@@ -83,7 +102,17 @@ type PhysMem struct {
 	ctrAllocHuge *telemetry.Counter
 	ctrFree      *telemetry.Counter
 	ctrSpill     *telemetry.Counter
+
+	// faults, when non-nil, can fail AllocIn with transient pressure
+	// (SiteENOMEM). Demand allocation (Alloc/AllocHuge) is never
+	// injected: faults target the migration path, not correctness of
+	// first-touch placement.
+	faults *fault.Plane
 }
+
+// SetFaultPlane attaches the fault-injection plane. nil (the default)
+// injects nothing.
+func (pm *PhysMem) SetFaultPlane(p *fault.Plane) { pm.faults = p }
 
 // SetTracer wires the allocator's telemetry counters: frames claimed
 // and freed, huge allocations, and spill allocations (fast tier full,
@@ -226,12 +255,18 @@ func (pm *PhysMem) Alloc(t TierID, pid int, vpn VPN) (PFN, error) {
 }
 
 // AllocIn is like Alloc but fails rather than spilling when the tier is
-// full; the page mover uses it during migrations.
+// full; the page mover uses it during migrations. Failures wrap
+// ErrTierFull (which also wraps ErrOutOfMemory for legacy callers):
+// both the genuine out-of-frames case and fault-injected transient
+// pressure, so the mover's retry logic treats them uniformly.
 func (pm *PhysMem) AllocIn(t TierID, pid int, vpn VPN) (PFN, error) {
+	if pm.faults.FailAllocIn() {
+		return 0, fmt.Errorf("mem: tier %v allocation pressure (injected): %w", t, ErrTierFull)
+	}
 	if pfn, ok := pm.allocIn(int(t), pid, vpn); ok {
 		return pfn, nil
 	}
-	return 0, fmt.Errorf("mem: tier %v full: %w", t, ErrOutOfMemory)
+	return 0, fmt.Errorf("mem: tier %v full: %w (%w)", t, ErrTierFull, ErrOutOfMemory)
 }
 
 // AllocHuge finds a 512-frame aligned contiguous run in the given tier

@@ -1,14 +1,21 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/telemetry"
 )
+
+// ErrSplitFailed marks a migration that could not split the huge
+// mapping covering its page (a THP split racing a refcount holder).
+// Transient: the mover re-queues the page for a later epoch.
+var ErrSplitFailed = errors.New("policy: THP split failed")
 
 // Mover implements the paper's §IV step 3: it physically relocates
 // pages across tiers at epoch horizons while processes run. Virtual
@@ -16,6 +23,17 @@ import (
 // tier, copies, remaps the PTE, frees the old frame, and issues one
 // machine-wide TLB shootdown per epoch for the whole batch (the reason
 // the paper chose epoch-based policies in the first place).
+//
+// Migrations fail — organically (tier full, mapping unmapped while the
+// selection was in flight) and under fault injection (transient pins,
+// allocation pressure, failed THP splits). The mover classifies every
+// failure by its sentinel (mem.ErrTierFull, mem.ErrPinned,
+// mem.ErrUnmapped, ErrSplitFailed): transient failures go to a
+// bounded deferred-retry queue and are re-attempted in later epochs
+// with exponential epoch backoff; permanent ones are dropped with a
+// reason-coded counter. The queue cannot distinguish injected failures
+// from organic ones — by design, so chaos runs exercise exactly the
+// production response path.
 type Mover struct {
 	machine *cpu.Machine
 	// CostPerPageNS is the per-page migration expense (copy + fixups)
@@ -31,6 +49,14 @@ type Mover struct {
 	MinPromoteRank uint64
 	// MoverCore pays migration costs.
 	MoverCore int
+	// MaxRetries caps how many times one page's transient failure is
+	// attempted in total (initial try included) before the mover gives
+	// up on it.
+	MaxRetries int
+	// RetryQueueCap bounds the deferred-retry queue; failures that
+	// would overflow it are dropped (counted in RetryDropped), not
+	// queued — a mover drowning in failures must not hoard memory.
+	RetryQueueCap int
 
 	// Stats.
 	Promotions uint64
@@ -38,9 +64,31 @@ type Mover struct {
 	Splits     uint64 // THP splits forced by partial-huge migrations
 	Shootdowns uint64
 	OverheadNS int64
-	Failed     uint64 // migrations skipped (capacity or vanished mapping)
+	// Failed aggregates every migration failure; the per-reason
+	// counters below partition it (Failed = Capacity + Pinned +
+	// Vanished + Split).
+	Failed         uint64
+	FailedCapacity uint64 // target tier had no frame (mem.ErrTierFull)
+	FailedPinned   uint64 // page transiently pinned (mem.ErrPinned)
+	FailedVanished uint64 // mapping gone mid-flight (mem.ErrUnmapped)
+	FailedSplit    uint64 // THP split failed (ErrSplitFailed)
+	// Retry-queue accounting. Retried counts re-attempts drained from
+	// the queue; RetrySucceeded the ones that completed;
+	// RetrySuperseded entries dropped because the selection reversed
+	// direction before the retry came due; RetryDropped entries
+	// abandoned at the attempt cap or queue bound.
+	Retried         uint64
+	RetrySucceeded  uint64
+	RetrySuperseded uint64
+	RetryDropped    uint64
 
+	epoch   uint64
+	retries []retryEntry
 	charged int64 // portion of OverheadNS already charged to MoverCore
+
+	// faults, when non-nil, can pin pages and fail splits (AllocIn
+	// pressure is injected inside mem.PhysMem).
+	faults *fault.Plane
 
 	// Telemetry (nil handles no-op when telemetry is off).
 	tel          *telemetry.Tracer
@@ -49,7 +97,24 @@ type Mover struct {
 	ctrSplits    *telemetry.Counter
 	ctrShootdown *telemetry.Counter
 	ctrFailed    *telemetry.Counter
+	ctrFailCap   *telemetry.Counter
+	ctrFailPin   *telemetry.Counter
+	ctrFailVan   *telemetry.Counter
+	ctrFailSplit *telemetry.Counter
+	ctrRetried   *telemetry.Counter
+	ctrRetryOK   *telemetry.Counter
+	ctrRetryDrop *telemetry.Counter
 	ctrOverhead  *telemetry.Counter
+}
+
+// retryEntry is one deferred migration: re-attempt moving key in the
+// recorded direction once due arrives, unless the selection has
+// reversed by then.
+type retryEntry struct {
+	key      core.PageKey
+	promote  bool
+	attempts int    // failed attempts so far
+	due      uint64 // first epoch eligible for re-attempt
 }
 
 // SetTracer attaches the telemetry layer: each successful migration
@@ -64,29 +129,50 @@ func (mv *Mover) SetTracer(t *telemetry.Tracer) {
 	mv.ctrSplits = t.Counter("mover/splits")
 	mv.ctrShootdown = t.Counter("mover/shootdowns")
 	mv.ctrFailed = t.Counter("mover/failed")
+	mv.ctrFailCap = t.Counter("mover/failed_capacity")
+	mv.ctrFailPin = t.Counter("mover/failed_pinned")
+	mv.ctrFailVan = t.Counter("mover/failed_vanished")
+	mv.ctrFailSplit = t.Counter("mover/failed_split")
+	mv.ctrRetried = t.Counter("mover/retries")
+	mv.ctrRetryOK = t.Counter("mover/retry_succeeded")
+	mv.ctrRetryDrop = t.Counter("mover/retry_dropped")
 	mv.ctrOverhead = t.Counter("mover/overhead_ns")
 }
 
+// SetFaultPlane attaches the fault-injection plane. nil (the default)
+// injects nothing.
+func (mv *Mover) SetFaultPlane(p *fault.Plane) { mv.faults = p }
+
 // NewMover builds a mover with the paper's 50 us per-page cost.
 func NewMover(m *cpu.Machine) *Mover {
-	return &Mover{machine: m, CostPerPageNS: 50_000}
+	return &Mover{machine: m, CostPerPageNS: 50_000, MaxRetries: 3, RetryQueueCap: 256}
 }
+
+// RetryQueueLen returns the number of deferred migrations waiting.
+func (mv *Mover) RetryQueueLen() int { return len(mv.retries) }
 
 // migrate moves one mapped page to the target tier, splitting a huge
 // mapping first (Linux migrates THP by splitting unless the whole
 // 2 MiB moves; hot subpages rarely cover a whole huge page, so the
-// mover splits). The caller batches the shootdown.
+// mover splits). The caller batches the shootdown. Failures wrap the
+// typed sentinels so callers can branch with errors.Is.
 func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 	phys := mv.machine.Phys
 	table, ok := mv.machine.Tables()[key.PID]
 	if !ok {
-		return fmt.Errorf("policy: pid %d has no page table", key.PID)
+		return fmt.Errorf("policy: pid %d has no page table: %w", key.PID, mem.ErrUnmapped)
 	}
 	pte, huge := table.Resolve(key.VPN)
 	if pte == nil {
-		return fmt.Errorf("policy: page pid=%d vpn=%#x no longer mapped", key.PID, uint64(key.VPN))
+		return fmt.Errorf("policy: page pid=%d vpn=%#x no longer mapped: %w", key.PID, uint64(key.VPN), mem.ErrUnmapped)
 	}
 	if huge {
+		if mv.faults.FailSplit() {
+			// The split raced something holding a reference to the
+			// compound page; the whole migration bails before any
+			// page-table mutation.
+			return fmt.Errorf("policy: split of huge mapping at pid=%d vpn=%#x raced a refcount: %w", key.PID, uint64(key.VPN), ErrSplitFailed)
+		}
 		table.SplitHuge(key.VPN)
 		mv.Splits++
 		// A split is roughly one page move of work.
@@ -94,14 +180,18 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 	}
 	oldPFN, ok := table.Frame(key.VPN)
 	if !ok {
-		return fmt.Errorf("policy: page pid=%d vpn=%#x vanished during split", key.PID, uint64(key.VPN))
+		return fmt.Errorf("policy: page pid=%d vpn=%#x vanished during split: %w", key.PID, uint64(key.VPN), mem.ErrUnmapped)
 	}
 	oldPD := phys.Page(oldPFN)
 	if oldPD.Tier == target {
 		return nil
 	}
 	if oldPD.Flags&mem.FlagNonMigratable != 0 {
-		return fmt.Errorf("policy: page pid=%d vpn=%#x is pinned", key.PID, uint64(key.VPN))
+		return fmt.Errorf("policy: page pid=%d vpn=%#x is pinned: %w", key.PID, uint64(key.VPN), mem.ErrPinned)
+	}
+	if mv.faults.PinPage() {
+		// Transient elevated refcount (DMA, gup) — the EBUSY case.
+		return fmt.Errorf("policy: page pid=%d vpn=%#x transiently busy: %w", key.PID, uint64(key.VPN), mem.ErrPinned)
 	}
 	newPFN, err := phys.AllocIn(target, key.PID, key.VPN)
 	if err != nil {
@@ -117,11 +207,51 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 
 	if !table.Remap(key.VPN, newPFN) {
 		phys.Free(newPFN)
-		return fmt.Errorf("policy: remap failed for pid=%d vpn=%#x", key.PID, uint64(key.VPN))
+		return fmt.Errorf("policy: remap failed for pid=%d vpn=%#x: %w", key.PID, uint64(key.VPN), mem.ErrUnmapped)
 	}
 	phys.Free(oldPFN)
 	mv.OverheadNS += mv.machine.SoftCost(mv.CostPerPageNS)
 	return nil
+}
+
+// noteFailure classifies a migration error into the per-reason
+// counters and reports whether it is transient (worth a deferred
+// retry). Unrecognized errors count as vanished: a page we cannot
+// reason about is not worth re-attempting.
+func (mv *Mover) noteFailure(err error) bool {
+	mv.Failed++
+	switch {
+	case errors.Is(err, mem.ErrTierFull):
+		mv.FailedCapacity++
+		return true
+	case errors.Is(err, mem.ErrPinned):
+		mv.FailedPinned++
+		return true
+	case errors.Is(err, ErrSplitFailed):
+		mv.FailedSplit++
+		return true
+	default:
+		mv.FailedVanished++
+		return false
+	}
+}
+
+// deferRetry queues a transiently failed migration for a later epoch.
+// attempts counts failures so far; backoff doubles per attempt (1, 2,
+// 4, ... epochs), so a page failing repeatedly consumes geometrically
+// less mover attention. Both caps drop deterministically into
+// RetryDropped.
+func (mv *Mover) deferRetry(key core.PageKey, promote bool, attempts int) {
+	if attempts >= mv.MaxRetries || len(mv.retries) >= mv.RetryQueueCap {
+		mv.RetryDropped++
+		return
+	}
+	mv.retries = append(mv.retries, retryEntry{
+		key:      key,
+		promote:  promote,
+		attempts: attempts,
+		due:      mv.epoch + 1<<uint(attempts-1),
+	})
 }
 
 // demoteCand is one demotion candidate with its rank precomputed at
@@ -133,14 +263,70 @@ type demoteCand struct {
 }
 
 // ApplySelection reconciles physical placement with a policy's tier-1
-// selection: demotes unselected fast-tier pages coldest-first (making
-// room), then promotes selected slow-tier pages, then issues one
-// shootdown for the whole batch. ranks supplies the epoch's hotness
-// per page (missing keys count as zero, i.e. coldest); it protects
+// selection: replays due deferred retries first, then demotes
+// unselected fast-tier pages coldest-first (making room), then
+// promotes selected slow-tier pages, then issues one shootdown for the
+// whole epoch's batch. ranks supplies the epoch's hotness per page
+// (missing keys count as zero, i.e. coldest); it protects
 // hot-but-unsampled residents from being evicted to fit a handful of
-// promotions. It returns (promoted, demoted).
+// promotions. It returns (promoted, demoted), retries included.
 func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
+	mv.epoch++
 	phys := mv.machine.Phys
+	promoted, demoted := 0, 0
+
+	// Replay the deferred-retry queue. Entries whose selection has
+	// reversed direction are superseded (the fresh pass owns the page
+	// again); entries not yet due stay queued and keep the page out of
+	// the fresh pass, so one page is never attempted twice per epoch.
+	// FIFO order within an epoch keeps replay deterministic. The whole
+	// block is skipped — no allocation — when the queue is empty,
+	// which is every epoch of a failure-free run.
+	var queuedKeys map[core.PageKey]struct{}
+	if len(mv.retries) > 0 {
+		keep := mv.retries[:0]
+		var due []retryEntry
+		for _, e := range mv.retries {
+			if _, selected := sel[e.key]; e.promote != selected {
+				mv.RetrySuperseded++
+				continue
+			}
+			if e.due <= mv.epoch {
+				due = append(due, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		mv.retries = keep
+		if len(due)+len(keep) > 0 {
+			queuedKeys = make(map[core.PageKey]struct{}, len(due)+len(keep))
+			for _, e := range keep {
+				queuedKeys[e.key] = struct{}{}
+			}
+		}
+		for _, e := range due {
+			queuedKeys[e.key] = struct{}{}
+			mv.Retried++
+			target := mem.SlowTier
+			if e.promote {
+				target = mem.FastTier
+			}
+			if err := mv.migrate(e.key, target); err != nil {
+				if mv.noteFailure(err) {
+					mv.deferRetry(e.key, e.promote, e.attempts+1)
+				}
+				continue
+			}
+			mv.RetrySucceeded++
+			if e.promote {
+				promoted++
+			} else {
+				demoted++
+			}
+			mv.tel.EmitMigration(mv.machine.Now(), e.key.PID, uint64(e.key.VPN), e.promote)
+		}
+	}
+
 	var demote []demoteCand
 	var promote []core.PageKey
 	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
@@ -148,6 +334,11 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 			return
 		}
 		key := core.PageKey{PID: pd.PID, VPN: pd.VPage}
+		if queuedKeys != nil {
+			if _, queued := queuedKeys[key]; queued {
+				return
+			}
+		}
 		_, selected := sel[key]
 		switch {
 		case pd.Tier == mem.FastTier && !selected:
@@ -182,10 +373,10 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	rest := demote[len(head):]
 	restSorted := false
 
-	demoted, promoted := 0, 0
+	demotedFresh, promotedFresh := 0, 0
 	next := 0
 	for {
-		if phys.FreeFrames(mem.FastTier) >= len(promote)-promoted {
+		if phys.FreeFrames(mem.FastTier) >= len(promote)-promotedFresh {
 			break
 		}
 		var cand demoteCand
@@ -204,24 +395,32 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		}
 		next++
 		if err := mv.migrate(cand.key, mem.SlowTier); err != nil {
-			mv.Failed++
+			if mv.noteFailure(err) {
+				mv.deferRetry(cand.key, false, 1)
+			}
 			continue
 		}
-		demoted++
+		demotedFresh++
 		mv.tel.EmitMigration(mv.machine.Now(), cand.key.PID, uint64(cand.key.VPN), false)
 	}
 	for _, key := range promote {
 		if phys.FreeFrames(mem.FastTier) == 0 {
 			mv.Failed++
+			mv.FailedCapacity++
+			mv.deferRetry(key, true, 1)
 			continue
 		}
 		if err := mv.migrate(key, mem.FastTier); err != nil {
-			mv.Failed++
+			if mv.noteFailure(err) {
+				mv.deferRetry(key, true, 1)
+			}
 			continue
 		}
-		promoted++
+		promotedFresh++
 		mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), true)
 	}
+	promoted += promotedFresh
+	demoted += demotedFresh
 	mv.Promotions += uint64(promoted)
 	mv.Demotions += uint64(demoted)
 
@@ -241,6 +440,13 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		mv.ctrSplits.Set(mv.Splits)
 		mv.ctrShootdown.Set(mv.Shootdowns)
 		mv.ctrFailed.Set(mv.Failed)
+		mv.ctrFailCap.Set(mv.FailedCapacity)
+		mv.ctrFailPin.Set(mv.FailedPinned)
+		mv.ctrFailVan.Set(mv.FailedVanished)
+		mv.ctrFailSplit.Set(mv.FailedSplit)
+		mv.ctrRetried.Set(mv.Retried)
+		mv.ctrRetryOK.Set(mv.RetrySucceeded)
+		mv.ctrRetryDrop.Set(mv.RetryDropped)
 		mv.ctrOverhead.Set(uint64(mv.OverheadNS))
 	}
 	return promoted, demoted

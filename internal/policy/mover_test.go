@@ -1,11 +1,13 @@
 package policy
 
 import (
+	"errors"
 	"testing"
 
 	"tieredmem/internal/cache"
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/tlb"
 	"tieredmem/internal/trace"
@@ -175,5 +177,188 @@ func TestMoverFailsGracefullyOnUnmapped(t *testing.T) {
 	promoted, _ := mv.ApplySelection(sel, core.Ranks{})
 	if promoted != 0 {
 		t.Errorf("promoted a page of a nonexistent process")
+	}
+}
+
+func pinPage(t *testing.T, m *cpu.Machine, pid int, vpn mem.VPN) {
+	t.Helper()
+	pfn, ok := m.Table(pid).Frame(vpn)
+	if !ok {
+		t.Fatalf("vpn %d not mapped", vpn)
+	}
+	m.Phys.Page(pfn).Flags |= mem.FlagNonMigratable
+}
+
+func unpinPage(t *testing.T, m *cpu.Machine, pid int, vpn mem.VPN) {
+	t.Helper()
+	pfn, ok := m.Table(pid).Frame(vpn)
+	if !ok {
+		t.Fatalf("vpn %d not mapped", vpn)
+	}
+	m.Phys.Page(pfn).Flags &^= mem.FlagNonMigratable
+}
+
+func TestMigrateTypedErrors(t *testing.T) {
+	m := moverMachine(t, 4, 16)
+	touchPages(t, m, 1, 5) // 0..3 fast, 4 slow
+	mv := NewMover(m)
+
+	if err := mv.migrate(core.PageKey{PID: 99, VPN: 1}, mem.FastTier); !errors.Is(err, mem.ErrUnmapped) {
+		t.Errorf("missing process: got %v, want ErrUnmapped", err)
+	}
+	if err := mv.migrate(core.PageKey{PID: 1, VPN: 77}, mem.FastTier); !errors.Is(err, mem.ErrUnmapped) {
+		t.Errorf("unmapped vpn: got %v, want ErrUnmapped", err)
+	}
+	pinPage(t, m, 1, 0)
+	if err := mv.migrate(core.PageKey{PID: 1, VPN: 0}, mem.SlowTier); !errors.Is(err, mem.ErrPinned) {
+		t.Errorf("pinned page: got %v, want ErrPinned", err)
+	}
+	// Fast tier is full: promotion hits allocation pressure.
+	if err := mv.migrate(core.PageKey{PID: 1, VPN: 4}, mem.FastTier); !errors.Is(err, mem.ErrTierFull) {
+		t.Errorf("full tier: got %v, want ErrTierFull", err)
+	}
+}
+
+// fullFastSetup maps five pages (four fill the fast tier, one spills)
+// and pins the fast residents so no demotion can make room.
+func fullFastSetup(t *testing.T) (*cpu.Machine, *Mover, Selection) {
+	t.Helper()
+	m := moverMachine(t, 4, 16)
+	touchPages(t, m, 1, 5)
+	for i := 0; i < 4; i++ {
+		pinPage(t, m, 1, mem.VPN(i))
+	}
+	return m, NewMover(m), Selection{core.PageKey{PID: 1, VPN: 4}: {}}
+}
+
+func TestRetryQueueCarriesCapacityFailure(t *testing.T) {
+	m, mv, sel := fullFastSetup(t)
+	promoted, _ := mv.ApplySelection(sel, core.Ranks{})
+	if promoted != 0 {
+		t.Fatalf("promoted %d into a full tier", promoted)
+	}
+	if mv.Failed != 1 || mv.FailedCapacity != 1 || mv.RetryQueueLen() != 1 {
+		t.Fatalf("failed=%d capacity=%d queue=%d, want 1/1/1", mv.Failed, mv.FailedCapacity, mv.RetryQueueLen())
+	}
+	// Make room, then let the deferred retry land next epoch.
+	unpinPage(t, m, 1, 0)
+	if err := mv.migrate(core.PageKey{PID: 1, VPN: 0}, mem.SlowTier); err != nil {
+		t.Fatal(err)
+	}
+	promoted, _ = mv.ApplySelection(sel, core.Ranks{})
+	if promoted != 1 || mv.RetrySucceeded != 1 || mv.Retried != 1 {
+		t.Errorf("promoted=%d retrySucceeded=%d retried=%d, want 1/1/1", promoted, mv.RetrySucceeded, mv.Retried)
+	}
+	if tierOf(t, m, 1, 4) != mem.FastTier {
+		t.Errorf("retried promotion did not land")
+	}
+	if mv.RetryQueueLen() != 0 {
+		t.Errorf("queue not drained after success")
+	}
+}
+
+func TestRetryBackoffAndAttemptCap(t *testing.T) {
+	_, mv, sel := fullFastSetup(t)
+	// Epoch 1: fresh failure queues the page (due epoch 2).
+	mv.ApplySelection(sel, core.Ranks{})
+	// Epoch 2: retry #1 fails, requeued with backoff 2 (due epoch 4).
+	mv.ApplySelection(sel, core.Ranks{})
+	if mv.Retried != 1 || mv.Failed != 2 {
+		t.Fatalf("after epoch 2: retried=%d failed=%d, want 1/2", mv.Retried, mv.Failed)
+	}
+	// Epoch 3: nothing due; the queued page is also excluded from the
+	// fresh pass, so no third attempt happens early.
+	mv.ApplySelection(sel, core.Ranks{})
+	if mv.Retried != 1 || mv.Failed != 2 {
+		t.Fatalf("backoff not honored: retried=%d failed=%d", mv.Retried, mv.Failed)
+	}
+	// Epoch 4: retry #2 fails; the third failure hits MaxRetries and
+	// the page is dropped from the queue.
+	mv.ApplySelection(sel, core.Ranks{})
+	if mv.Retried != 2 || mv.Failed != 3 || mv.RetryDropped != 1 || mv.RetryQueueLen() != 0 {
+		t.Errorf("after cap: retried=%d failed=%d dropped=%d queue=%d, want 2/3/1/0",
+			mv.Retried, mv.Failed, mv.RetryDropped, mv.RetryQueueLen())
+	}
+	// The aggregate stays the sum of the reasons.
+	if mv.Failed != mv.FailedCapacity+mv.FailedPinned+mv.FailedVanished+mv.FailedSplit {
+		t.Errorf("Failed=%d not partitioned by reason counters", mv.Failed)
+	}
+}
+
+func TestRetrySuperseded(t *testing.T) {
+	_, mv, sel := fullFastSetup(t)
+	mv.ApplySelection(sel, core.Ranks{})
+	if mv.RetryQueueLen() != 1 {
+		t.Fatalf("queue=%d, want 1", mv.RetryQueueLen())
+	}
+	// Next epoch the policy no longer selects the page: the queued
+	// promotion is stale and must be dropped, not replayed.
+	mv.ApplySelection(Selection{}, core.Ranks{})
+	if mv.RetrySuperseded != 1 || mv.RetryQueueLen() != 0 || mv.Retried != 0 {
+		t.Errorf("superseded=%d queue=%d retried=%d, want 1/0/0",
+			mv.RetrySuperseded, mv.RetryQueueLen(), mv.Retried)
+	}
+}
+
+func TestFaultPinnedMigrationClassified(t *testing.T) {
+	m := moverMachine(t, 4, 16)
+	touchPages(t, m, 1, 5)
+	mv := NewMover(m)
+	spec, _ := fault.ParseSpec("mem.pinned=1")
+	mv.SetFaultPlane(fault.New(spec, 1))
+	sel := Selection{core.PageKey{PID: 1, VPN: 4}: {}}
+	promoted, demoted := mv.ApplySelection(sel, core.Ranks{})
+	if promoted != 0 || demoted != 0 {
+		t.Fatalf("migrations succeeded under rate-1 pin: %d/%d", promoted, demoted)
+	}
+	if mv.FailedPinned == 0 {
+		t.Errorf("no pinned failures classified")
+	}
+	if mv.Failed != mv.FailedCapacity+mv.FailedPinned+mv.FailedVanished+mv.FailedSplit {
+		t.Errorf("Failed=%d not partitioned by reason counters", mv.Failed)
+	}
+	if mv.RetryQueueLen() == 0 {
+		t.Errorf("transient pin failures not queued for retry")
+	}
+}
+
+func TestFaultSplitFailure(t *testing.T) {
+	m := moverMachine(t, 2*mem.HugePages, 2*mem.HugePages)
+	m.SetHugeHint(func(pid int, vpn mem.VPN) bool { return true })
+	if _, err := m.Execute(trace.Ref{PID: 1, VAddr: 0, Kind: trace.Load}); err != nil {
+		t.Fatal(err)
+	}
+	mv := NewMover(m)
+	spec, _ := fault.ParseSpec("mem.splitfail=1")
+	mv.SetFaultPlane(fault.New(spec, 1))
+	err := mv.migrate(core.PageKey{PID: 1, VPN: 7}, mem.SlowTier)
+	if !errors.Is(err, ErrSplitFailed) {
+		t.Fatalf("got %v, want ErrSplitFailed", err)
+	}
+	// The failed split must leave the huge mapping intact: the bail
+	// happens before any page-table mutation.
+	if m.Table(1).HugeLeaves() != 1 || mv.Splits != 0 {
+		t.Errorf("failed split mutated the mapping: leaves=%d splits=%d",
+			m.Table(1).HugeLeaves(), mv.Splits)
+	}
+}
+
+func TestMoverZeroRatePlaneInert(t *testing.T) {
+	run := func(p *fault.Plane) (*Mover, *cpu.Machine) {
+		m := moverMachine(t, 4, 16)
+		touchPages(t, m, 1, 8)
+		mv := NewMover(m)
+		mv.SetFaultPlane(p)
+		sel := Selection{
+			core.PageKey{PID: 1, VPN: 5}: {},
+			core.PageKey{PID: 1, VPN: 6}: {},
+		}
+		mv.ApplySelection(sel, core.Ranks{})
+		return mv, m
+	}
+	a, _ := run(nil)
+	b, _ := run(fault.New(fault.Spec{}, 42))
+	if a.Promotions != b.Promotions || a.Demotions != b.Demotions || a.Failed != b.Failed {
+		t.Errorf("zero-rate plane perturbed the mover: %+v vs %+v", a, b)
 	}
 }

@@ -1,0 +1,22 @@
+package report
+
+// FaultRow is one named count of the fault-attribution section:
+// injections per site, mover failures per reason, retry-queue
+// outcomes. Kept dependency-free (plain name/value) because telemetry
+// imports report, so report can import neither telemetry nor fault.
+type FaultRow struct {
+	Name  string
+	Value uint64
+}
+
+// FaultTable renders the fault-attribution section: what the fault
+// plane injected and how the response machinery absorbed it. Rows
+// arrive pre-ordered (site order, then mover reasons), so rendering is
+// deterministic.
+func FaultTable(title string, rows []FaultRow) *Table {
+	t := NewTable(title, "counter", "value")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Value)
+	}
+	return t
+}

@@ -6,8 +6,11 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/emul"
+	"tieredmem/internal/fault"
+	"tieredmem/internal/fault/invariant"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
+	"tieredmem/internal/report"
 	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
@@ -45,6 +48,15 @@ type PlacementConfig struct {
 	// (events, counters). Telemetry is inert: results are byte-identical
 	// with or without it.
 	Tracer *telemetry.Tracer
+	// Faults, when non-nil, is the run's fault-injection plane (one
+	// plane per run, like Tracer): it can drop IBS samples, abort
+	// A-bit walks, wrap HWPC counters, and fail migrations. A nil
+	// plane — and one with an all-zero spec — is inert.
+	Faults *fault.Plane
+	// Invariants asserts the epoch invariant checker (frame
+	// conservation, mapping bijection, mover accounting) after every
+	// placement pass; it is forced on whenever Faults can inject.
+	Invariants bool
 }
 
 // DefaultPlacementConfig mirrors DefaultConfig for placement runs.
@@ -83,6 +95,24 @@ type PlacementResult struct {
 	Demotions    uint64
 	EmulInjected int64
 	EmulFaults   uint64
+
+	// Robustness accounting (all zero in unfaulted runs). The mover's
+	// failure aggregate is partitioned by reason, retry outcomes track
+	// the deferred-retry queue, and FaultsInjected totals the plane's
+	// firings across every site.
+	Failed          uint64
+	FailedCapacity  uint64
+	FailedPinned    uint64
+	FailedVanished  uint64
+	FailedSplit     uint64
+	Retried         uint64
+	RetrySucceeded  uint64
+	RetrySuperseded uint64
+	RetryDropped    uint64
+	FaultsInjected  uint64
+	// Quarantined lists mechanisms the profiler permanently disabled,
+	// in fixed (ibs, abit, hwpc) order.
+	Quarantined []string
 }
 
 // Hitrate returns the live tier-1 memory hitrate.
@@ -91,6 +121,30 @@ func (r PlacementResult) Hitrate() float64 {
 		return 0
 	}
 	return float64(r.Tier1Hits) / float64(r.MemAccesses)
+}
+
+// FaultAttribution assembles the fault-attribution section for one
+// placement run: per-site injection counts from the plane, then the
+// mover's reason-partitioned failures and retry-queue outcomes, in a
+// fixed order so the rendered report is deterministic.
+func FaultAttribution(p *fault.Plane, res PlacementResult) []report.FaultRow {
+	rows := make([]report.FaultRow, 0, 16)
+	for _, s := range fault.Sites() {
+		rows = append(rows, report.FaultRow{Name: "fault/" + s.String() + "_injected", Value: p.Injected(s)})
+	}
+	rows = append(rows,
+		report.FaultRow{Name: "mover/failed", Value: res.Failed},
+		report.FaultRow{Name: "mover/failed_capacity", Value: res.FailedCapacity},
+		report.FaultRow{Name: "mover/failed_pinned", Value: res.FailedPinned},
+		report.FaultRow{Name: "mover/failed_vanished", Value: res.FailedVanished},
+		report.FaultRow{Name: "mover/failed_split", Value: res.FailedSplit},
+		report.FaultRow{Name: "mover/retries", Value: res.Retried},
+		report.FaultRow{Name: "mover/retry_succeeded", Value: res.RetrySucceeded},
+		report.FaultRow{Name: "mover/retry_superseded", Value: res.RetrySuperseded},
+		report.FaultRow{Name: "mover/retry_dropped", Value: res.RetryDropped},
+		report.FaultRow{Name: "quarantined_mechanisms", Value: uint64(len(res.Quarantined))},
+	)
+	return rows
 }
 
 // RunPlacement executes an end-to-end tiered run and returns its
@@ -141,6 +195,26 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 	}
 	if cfg.Tracer.Enabled() {
 		m.Phys.SetTracer(cfg.Tracer)
+	}
+	if cfg.Faults != nil {
+		m.Phys.SetFaultPlane(cfg.Faults)
+		if prof != nil {
+			prof.SetFaultPlane(cfg.Faults)
+		}
+		if mover != nil {
+			mover.SetFaultPlane(cfg.Faults)
+		}
+		if cfg.Tracer.Enabled() {
+			cfg.Faults.SetTracer(cfg.Tracer)
+		}
+	}
+	// Under fault injection (or on request) every placement pass must
+	// leave the machine conserved: no frame lost or duplicated, every
+	// mapping backed, mover counters consistent. The checker only
+	// reads, so checked runs are byte-identical to unchecked ones.
+	var inv *invariant.Checker
+	if cfg.Invariants || cfg.Faults.Enabled() {
+		inv = invariant.New()
 	}
 	var collapser *policy.Collapser
 	if cfg.Khugepaged && cfg.Huge {
@@ -206,8 +280,12 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 		if now >= nextEpoch {
 			if prof != nil {
 				prof.HarvestEpochInto(&ep)
-				sel := cfg.Policy.Select(ep, core.EpochStats{}, cfg.Method, capacity)
-				promoted, demoted := mover.ApplySelection(sel, core.RanksOf(ep, cfg.Method))
+				// Quarantine degrades the requested evidence method to
+				// whatever mechanisms survive; without faults nothing
+				// is ever quarantined and this is the identity.
+				method := prof.EffectiveMethod(cfg.Method)
+				sel := cfg.Policy.Select(ep, core.EpochStats{}, method, capacity)
+				promoted, demoted := mover.ApplySelection(sel, core.RanksOf(ep, method))
 				if em != nil && promoted+demoted > 0 {
 					extra := em.ChargeMigration(promoted + demoted)
 					m.Core(0).AdvanceClock(extra)
@@ -227,6 +305,11 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 				// chunks per epoch.
 				collapser.Collapse(pids, 2)
 			}
+			if inv != nil {
+				if err := inv.Check(m.Phys, m.Tables(), mover); err != nil {
+					return res, fmt.Errorf("sim: placement epoch at %dns: %w", now, err)
+				}
+			}
 			// One placement pass per batch even if multiple epoch
 			// boundaries elapsed (migration work advances the clock;
 			// re-running placement on empty harvests would thrash).
@@ -235,12 +318,30 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 			}
 		}
 	}
+	if inv != nil {
+		if err := inv.Check(m.Phys, m.Tables(), mover); err != nil {
+			return res, fmt.Errorf("sim: final state: %w", err)
+		}
+	}
 	res.Refs = executed
 	res.DurationNS = m.Now()
 	if mover != nil {
 		res.Promotions = mover.Promotions
 		res.Demotions = mover.Demotions
+		res.Failed = mover.Failed
+		res.FailedCapacity = mover.FailedCapacity
+		res.FailedPinned = mover.FailedPinned
+		res.FailedVanished = mover.FailedVanished
+		res.FailedSplit = mover.FailedSplit
+		res.Retried = mover.Retried
+		res.RetrySucceeded = mover.RetrySucceeded
+		res.RetrySuperseded = mover.RetrySuperseded
+		res.RetryDropped = mover.RetryDropped
 	}
+	if prof != nil {
+		res.Quarantined = prof.QuarantinedMechanisms()
+	}
+	res.FaultsInjected = cfg.Faults.TotalInjected()
 	if em != nil {
 		s := em.Stats()
 		res.EmulInjected = s.InjectedNS

@@ -10,6 +10,8 @@ import (
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/fault"
+	"tieredmem/internal/fault/invariant"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
@@ -39,6 +41,14 @@ type Config struct {
 	// (events, counters). Telemetry is inert: results are byte-identical
 	// with or without it.
 	Tracer *telemetry.Tracer
+	// Faults, when non-nil, is the run's fault-injection plane (one
+	// plane per run, like Tracer). A nil plane — and a plane whose
+	// spec is all zero — is inert: results are byte-identical to an
+	// unfaulted run (see TestFaultPlaneInertEndToEnd).
+	Faults *fault.Plane
+	// Invariants asserts the epoch invariant checker after every
+	// harvest; it is forced on whenever Faults can inject.
+	Invariants bool
 }
 
 // ScaledSecond is the laptop-scale equivalent of one testbed second:
@@ -95,6 +105,10 @@ type Result struct {
 	HWPCOverheadNS int64
 	MinorFaults    uint64
 	HugeFaults     uint64
+	// Quarantined lists monitoring mechanisms the profiler
+	// permanently disabled for excessive injected-fault rates, in
+	// fixed (ibs, abit, hwpc) order. Empty without fault injection.
+	Quarantined []string
 }
 
 // OverheadFraction returns total profiling overhead as a fraction of
@@ -147,6 +161,13 @@ func New(cfg Config, w workload.Workload) (*Runner, error) {
 		m.Phys.SetTracer(cfg.Tracer)
 		prof.SetTracer(cfg.Tracer)
 	}
+	if cfg.Faults != nil {
+		m.Phys.SetFaultPlane(cfg.Faults)
+		prof.SetFaultPlane(cfg.Faults)
+		if cfg.Tracer.Enabled() {
+			cfg.Faults.SetTracer(cfg.Tracer)
+		}
+	}
 	for _, pid := range w.Processes() {
 		prof.Register(pid)
 	}
@@ -159,6 +180,19 @@ func New(cfg Config, w workload.Workload) (*Runner, error) {
 func (r *Runner) Run(hooks Hooks) (Result, error) {
 	res := Result{Workload: r.Workload.Name()}
 	buf := make([]trace.Ref, r.cfg.BatchSize)
+	// Under fault injection every epoch must leave placement state
+	// conserved; the checker is pure observation, so checked and
+	// unchecked runs produce the same bytes.
+	var inv *invariant.Checker
+	if r.cfg.Invariants || r.cfg.Faults.Enabled() {
+		inv = invariant.New()
+	}
+	check := func() error {
+		if inv == nil {
+			return nil
+		}
+		return inv.Check(r.Machine.Phys, r.Machine.Tables(), nil)
+	}
 	nextEpoch := r.cfg.EpochNS
 	executed := 0
 	for executed < r.cfg.TotalRefs {
@@ -186,6 +220,9 @@ func (r *Runner) Run(hooks Hooks) (Result, error) {
 			if hooks.OnEpoch != nil {
 				hooks.OnEpoch(ep)
 			}
+			if err := check(); err != nil {
+				return res, fmt.Errorf("sim: epoch %d: %w", len(res.Epochs)-1, err)
+			}
 			nextEpoch += r.cfg.EpochNS
 		}
 	}
@@ -197,11 +234,15 @@ func (r *Runner) Run(hooks Hooks) (Result, error) {
 			hooks.OnEpoch(ep)
 		}
 	}
+	if err := check(); err != nil {
+		return res, fmt.Errorf("sim: final epoch: %w", err)
+	}
 	res.Refs = executed
 	res.DurationNS = r.Machine.Now()
 	res.NumCores = len(r.Machine.Cores())
 	res.IBSOverheadNS, res.AbitOverheadNS, res.HWPCOverheadNS = r.Profiler.OverheadNS()
 	res.MinorFaults = r.Machine.MinorFaults
 	res.HugeFaults = r.Machine.HugeFaults
+	res.Quarantined = r.Profiler.QuarantinedMechanisms()
 	return res, nil
 }

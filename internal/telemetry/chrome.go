@@ -90,6 +90,9 @@ func WriteChromeTrace(w io.Writer, traces []Labeled) error {
 			case KindFilter:
 				emit(instantEvent(pid, chromeTID(SubDaemon), "refilter", "daemon", e.Now,
 					[]argKV{{"profiled", e.A}, {"registered", e.B}}))
+			case KindQuarantine:
+				emit(instantEvent(pid, chromeTID(SubFault), "quarantine "+e.Name, "fault", e.Now,
+					[]argKV{{"failures", e.A}, {"attempts", e.B}}))
 			}
 		}
 	}

@@ -94,6 +94,11 @@ func writeEventLine(b *strings.Builder, e *Event) {
 	case KindFilter:
 		writeUintField(b, "profiled", e.A)
 		writeUintField(b, "registered", e.B)
+	case KindQuarantine:
+		b.WriteString(`,"mechanism":`)
+		writeJSONString(b, e.Name)
+		writeUintField(b, "failures", e.A)
+		writeUintField(b, "attempts", e.B)
 	}
 	b.WriteString("}\n")
 }

@@ -50,6 +50,9 @@ const (
 	// SubRunner is the host-side worker pool (wall-clock registry
 	// only; never part of the virtual-time stream).
 	SubRunner
+	// SubFault is the fault-injection plane (injection counters and
+	// quarantine decisions).
+	SubFault
 
 	numSubsystems
 )
@@ -73,6 +76,8 @@ func (s Subsystem) String() string {
 		return "mem"
 	case SubRunner:
 		return "runner"
+	case SubFault:
+		return "fault"
 	default:
 		return "sub?"
 	}
@@ -107,6 +112,11 @@ const (
 	// KindFilter is a process-filter re-evaluation. A = PIDs passing,
 	// B = PIDs registered.
 	KindFilter
+	// KindQuarantine marks the profiler permanently disabling one
+	// monitoring mechanism whose fault rate crossed the quarantine
+	// threshold. Name = the mechanism ("ibs", "abit", "hwpc"),
+	// A = failures observed, B = attempts observed.
+	KindQuarantine
 )
 
 // String names the kind as serialized in exports.
@@ -128,6 +138,8 @@ func (k Kind) String() string {
 		return "shootdown"
 	case KindFilter:
 		return "filter"
+	case KindQuarantine:
+		return "quarantine"
 	default:
 		return "kind?"
 	}
@@ -299,6 +311,17 @@ func (t *Tracer) EmitFilter(now int64, profiled, registered int) {
 	}
 	t.emit(Event{Now: now, Kind: KindFilter, Sub: SubDaemon,
 		A: uint64(profiled), B: uint64(registered)})
+}
+
+// EmitQuarantine records the profiler permanently disabling one
+// monitoring mechanism, with the fault-rate evidence behind the
+// decision.
+func (t *Tracer) EmitQuarantine(now int64, mechanism string, failures, attempts uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Now: now, Kind: KindQuarantine, Sub: SubFault,
+		Name: mechanism, A: failures, B: attempts})
 }
 
 // Labeled pairs a tracer with the name of the run that produced it,
