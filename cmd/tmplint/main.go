@@ -3,40 +3,58 @@
 //
 // Usage:
 //
-//	tmplint [-json] [patterns...]
+//	tmplint [-format=text|json|github] [-json] [-tests] [-times] [patterns...]
 //
 // Patterns are package directories relative to the current module:
 // "./..." (the default) analyzes every package; "./internal/cpu"
-// analyzes one; a trailing "/..." analyzes a subtree. Findings print
-// as file:line:col: [analyzer] message, and any finding makes the
-// process exit 1.
+// analyzes one; a trailing "/..." analyzes a subtree. With -tests the
+// matched packages' _test.go files are analyzed too (by the analyzers
+// that opt into test code). Findings print as file:line:col:
+// [analyzer] message — or as a JSON array (-format=json, which also
+// carries each analyzer's doc string) or GitHub Actions ::error
+// annotations (-format=github) — and any finding makes the process
+// exit 1. -times prints per-analyzer wall time to stderr.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"tieredmem/internal/analysis"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (alias for -format=json)")
+	format := flag.String("format", "text", "output format: text, json, or github (::error annotations)")
+	tests := flag.Bool("tests", false, "also analyze _test.go files of the matched packages")
+	times := flag.Bool("times", false, "print per-analyzer wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tmplint [-json] [patterns...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tmplint [-format=text|json|github] [-json] [-tests] [-times] [patterns...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(flag.Args(), *jsonOut); err != nil {
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "tmplint: unknown format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *format, *tests, *times); err != nil {
 		fmt.Fprintln(os.Stderr, "tmplint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, jsonOut bool) error {
+func run(patterns []string, format string, tests, times bool) error {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -52,14 +70,33 @@ func run(patterns []string, jsonOut bool) error {
 	if err != nil {
 		return err
 	}
-	findings := analysis.Run(pkgs, analysis.Analyzers())
-	if jsonOut {
+	if tests {
+		variants, err := loader.LoadTests(pkgs)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, variants...)
+	}
+	var opts *analysis.Options
+	if times {
+		opts = &analysis.Options{Now: time.Now}
+	}
+	findings, elapsed := analysis.RunWithOptions(pkgs, analysis.Analyzers(), opts)
+	switch format {
+	case "json":
 		if err := writeJSON(os.Stdout, findings); err != nil {
 			return err
 		}
-	} else {
+	case "github":
+		writeGitHub(os.Stdout, findings)
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
+		}
+	}
+	if times {
+		for _, at := range elapsed {
+			fmt.Fprintf(os.Stderr, "tmplint: %-12s %8.1fms\n", at.Name, float64(at.Elapsed)/float64(time.Millisecond))
 		}
 	}
 	if len(findings) > 0 {
@@ -132,20 +169,35 @@ func loadTree(loader *analysis.Loader, root string) ([]*analysis.Package, error)
 	return out, nil
 }
 
-// jsonFinding is the -json output row.
+// analyzerDocs maps analyzer name to its one-paragraph contract, for
+// the JSON output.
+func analyzerDocs() map[string]string {
+	docs := make(map[string]string)
+	for _, a := range analysis.Analyzers() {
+		docs[a.Name] = a.Doc
+	}
+	return docs
+}
+
+// jsonFinding is the -format=json output row. Findings arrive from the
+// engine already sorted by (file, line, col, analyzer), so the emitted
+// bytes are stable across runs.
 type jsonFinding struct {
 	Analyzer string `json:"analyzer"`
+	Doc      string `json:"doc"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
 }
 
-func writeJSON(w *os.File, findings []analysis.Finding) error {
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	docs := analyzerDocs()
 	rows := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
 		rows = append(rows, jsonFinding{
 			Analyzer: f.Analyzer,
+			Doc:      docs[f.Analyzer],
 			File:     f.Pos.Filename,
 			Line:     f.Pos.Line,
 			Col:      f.Pos.Column,
@@ -155,4 +207,23 @@ func writeJSON(w *os.File, findings []analysis.Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+// writeGitHub emits GitHub Actions workflow annotations: each finding
+// becomes an ::error line anchored to its file and position, so CI
+// surfaces findings inline on the pull request diff.
+func writeGitHub(w io.Writer, findings []analysis.Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+			f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, escapeAnnotation(f.Message))
+	}
+}
+
+// escapeAnnotation applies the workflow-command data escaping rules
+// (%, CR, LF) so multi-line or percent-bearing messages survive.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

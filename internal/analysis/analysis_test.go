@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -9,11 +10,16 @@ import (
 	"testing"
 )
 
-// wantRe extracts the expectation pattern from a `// want `...“ or
-// `// want "..."` comment.
-var wantRe = regexp.MustCompile("// want [`\"](.+)[`\"]")
+// wantRe finds an expectation comment: `// want ...` or, for lines
+// whose trailing comment is taken by a tmplint directive under audit,
+// `/* want ... */`. The payload holds one or more backquoted regexps —
+// one per finding expected on the line.
+var wantRe = regexp.MustCompile(`(?://|/\*) want (.*)$`)
 
-// expectation is one `// want` comment in a fixture file.
+// wantPatRe extracts the individual backquoted patterns.
+var wantPatRe = regexp.MustCompile("`([^`]+)`")
+
+// expectation is one pattern from a `want` comment in a fixture file.
 type expectation struct {
 	file    string
 	line    int
@@ -21,7 +27,8 @@ type expectation struct {
 	matched bool
 }
 
-// loadExpectations scans every fixture file for want comments.
+// loadExpectations scans every fixture file in dir (including
+// _test.go files) for want comments.
 func loadExpectations(t *testing.T, dir string) []*expectation {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
@@ -43,22 +50,61 @@ func loadExpectations(t *testing.T, dir string) []*expectation {
 			if m == nil {
 				continue
 			}
-			re, err := regexp.Compile(m[1])
-			if err != nil {
-				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+			pats := wantPatRe.FindAllStringSubmatch(m[1], -1)
+			if len(pats) == 0 {
+				t.Fatalf("%s:%d: want comment without a backquoted pattern", path, i+1)
 			}
-			out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			for _, p := range pats {
+				re, err := regexp.Compile(p[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, p[1], err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			}
 		}
 	}
 	return out
 }
 
+// fixtureDir resolves a fixture name to the directory holding its Go
+// files. Most fixtures are flat (testdata/src/<name>); scope-sensitive
+// ones nest the files deeper so the package's import path contains the
+// fragment the analyzer keys on (testdata/src/rankpath/internal/
+// experiments).
+func fixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	root := filepath.Join("testdata", "src", name)
+	var found string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if found == "" && !d.IsDir() && strings.HasSuffix(d.Name(), ".go") {
+			found = filepath.Dir(path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixture %s: %v", root, err)
+	}
+	if found == "" {
+		t.Fatalf("fixture %s has no Go files", root)
+	}
+	return found
+}
+
 // runFixture analyzes one fixture package with one analyzer and
-// checks findings against the want comments: every finding must match
-// an expectation on its exact line, and every expectation must be hit.
+// checks findings against the want comments.
 func runFixture(t *testing.T, a *Analyzer) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", a.Name)
+	runFixtureDir(t, fixtureDir(t, a.Name), []*Analyzer{a})
+}
+
+// runFixtureDir analyzes the fixture package in dir with the requested
+// analyzers: every finding must match an expectation on its exact
+// line, and every expectation must be hit.
+func runFixtureDir(t *testing.T, dir string, requested []*Analyzer) {
+	t.Helper()
 	loader, err := NewLoader(".")
 	if err != nil {
 		t.Fatalf("NewLoader: %v", err)
@@ -71,9 +117,18 @@ func runFixture(t *testing.T, a *Analyzer) {
 	if len(expectations) == 0 {
 		t.Fatalf("fixture %s has no want comments", dir)
 	}
-	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	checkFindings(t, Run([]*Package{pkg}, requested), requested, expectations)
+}
+
+// checkFindings matches findings against expectations one-to-one.
+func checkFindings(t *testing.T, findings []Finding, requested []*Analyzer, expectations []*expectation) {
+	t.Helper()
+	allowed := make(map[string]bool, len(requested))
+	for _, a := range requested {
+		allowed[a.Name] = true
+	}
 	for _, f := range findings {
-		if f.Analyzer != a.Name {
+		if !allowed[f.Analyzer] {
 			t.Errorf("finding from unexpected analyzer %q: %v", f.Analyzer, f)
 			continue
 		}
@@ -113,6 +168,82 @@ func TestFloatSum(t *testing.T)     { runFixture(t, FloatSum) }
 func TestExhaustive(t *testing.T)   { runFixture(t, Exhaustive) }
 func TestTelemetry(t *testing.T)    { runFixture(t, Telemetry) }
 func TestFaultRand(t *testing.T)    { runFixture(t, FaultRand) }
+func TestDenseMap(t *testing.T)     { runFixture(t, DenseMap) }
+func TestRankPath(t *testing.T)     { runFixture(t, RankPath) }
+func TestCtrName(t *testing.T)      { runFixture(t, CtrName) }
+func TestSentErr(t *testing.T)      { runFixture(t, SentErr) }
+func TestGoroutine(t *testing.T)    { runFixture(t, Goroutine) }
+
+// TestDirectiveAudit runs the directive fixture with both
+// order-sensitivity analyzers plus the audit, exercising one directive
+// suppressing two analyzers' findings on one line, wrong-analyzer
+// allows, stale directives, and malformed verbs.
+func TestDirectiveAudit(t *testing.T) {
+	runFixtureDir(t, fixtureDir(t, "directive"), []*Analyzer{MapRange, FloatSum, DirectiveAudit})
+}
+
+// TestTaintInterprocedural is the fact-propagation proof: the taint
+// sources live in tieredmem/testdata/taintsrc/ext, outside internal/,
+// and the findings land in the fixture package that consumes them —
+// including a two-hop chain through a local variable. The untainted
+// ext.Pure call on the fixture's last function yields no finding (the
+// exact-match harness fails on any extra), pinning that the checks
+// fire on the fact, not on the mere cross-package call.
+func TestTaintInterprocedural(t *testing.T) {
+	dir := fixtureDir(t, "taint")
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	requested := []*Analyzer{WallClock, Telemetry, FaultRand}
+	findings := Run([]*Package{pkg}, requested)
+	checkFindings(t, findings, requested, loadExpectations(t, dir))
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "derives from") {
+			t.Errorf("taint finding does not name its source: %v", f)
+		}
+	}
+}
+
+// TestLoadTestsVariants covers the -tests path: LoadTests yields an
+// in-package and an external test variant, test-marked analyzers run
+// over them, and only _test.go findings are reported (the re-checked
+// base files never double-report).
+func TestLoadTestsVariants(t *testing.T) {
+	dir := fixtureDir(t, "testpkg")
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	base, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	variants, err := loader.LoadTests([]*Package{base})
+	if err != nil {
+		t.Fatalf("LoadTests: %v", err)
+	}
+	if len(variants) != 2 {
+		t.Fatalf("LoadTests returned %d variants, want 2 (in-package and external)", len(variants))
+	}
+	for _, v := range variants {
+		if !v.ForTest {
+			t.Errorf("variant %s not marked ForTest", v.Path)
+		}
+	}
+	requested := []*Analyzer{Goroutine}
+	findings := Run(append([]*Package{base}, variants...), requested)
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			t.Errorf("finding outside _test.go from a test run: %v", f)
+		}
+	}
+	checkFindings(t, findings, requested, loadExpectations(t, dir))
+}
 
 // TestFixturesFailDriver asserts the driver contract on the fixture
 // set as a whole: analyzing the fixtures yields findings (a non-zero
@@ -123,7 +254,8 @@ func TestFixturesFailDriver(t *testing.T) {
 		t.Fatalf("NewLoader: %v", err)
 	}
 	for _, a := range Analyzers() {
-		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", a.Name))
+		dir := fixtureDir(t, a.Name)
+		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			t.Fatalf("LoadDir(%s): %v", a.Name, err)
 		}
@@ -134,8 +266,8 @@ func TestFixturesFailDriver(t *testing.T) {
 				continue
 			}
 			found = true
-			if !strings.Contains(f.Pos.Filename, filepath.Join("testdata", "src", a.Name)) {
-				t.Errorf("finding position %s outside fixture dir %s", f.Pos, a.Name)
+			if !strings.Contains(f.Pos.Filename, dir) {
+				t.Errorf("finding position %s outside fixture dir %s", f.Pos, dir)
 			}
 			if f.Pos.Line <= 0 || f.Pos.Column <= 0 {
 				t.Errorf("finding without a real position: %v", f)
@@ -143,6 +275,89 @@ func TestFixturesFailDriver(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("fixture %s produced no %s findings", a.Name, a.Name)
+		}
+	}
+}
+
+// TestEngineDeterminism pins the engine's byte-stability contract:
+// the same set of target packages, in any argument order, across
+// repeated runs, renders the identical finding stream. The package
+// walk is a pure function of the import graph (topoOrder), never of
+// map iteration or caller order.
+func TestEngineDeterminism(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	var pkgs []*Package
+	for _, name := range []string{"taint", "telemetry", "ctrname", "densemap", "directive"} {
+		pkg, err := loader.LoadDir(fixtureDir(t, name))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	render := func(ps []*Package) string {
+		var b strings.Builder
+		for _, f := range Run(ps, Analyzers()) {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render(pkgs)
+	if first == "" {
+		t.Fatal("determinism fixture set produced no findings")
+	}
+	reversed := make([]*Package, len(pkgs))
+	for i, p := range pkgs {
+		reversed[len(pkgs)-1-i] = p
+	}
+	if got := render(reversed); got != first {
+		t.Errorf("reversed target order changed output:\n--- forward ---\n%s--- reversed ---\n%s", first, got)
+	}
+	if got := render(pkgs); got != first {
+		t.Errorf("repeated run changed output:\n--- first ---\n%s--- second ---\n%s", first, got)
+	}
+}
+
+// TestTopoOrder pins the cross-package fact flow precondition:
+// dependencies always precede dependents, and the order is identical
+// regardless of the argument order.
+func TestTopoOrder(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	a, err := loader.LoadDir(fixtureDir(t, "taint"))
+	if err != nil {
+		t.Fatalf("LoadDir(taint): %v", err)
+	}
+	b, err := loader.LoadDir(fixtureDir(t, "telemetry"))
+	if err != nil {
+		t.Fatalf("LoadDir(telemetry): %v", err)
+	}
+	paths := func(ps []*Package) []string {
+		out := make([]string, len(ps))
+		for i, p := range ps {
+			out[i] = p.Path
+		}
+		return out
+	}
+	fwd := paths(topoOrder([]*Package{a, b}))
+	rev := paths(topoOrder([]*Package{b, a}))
+	if strings.Join(fwd, "|") != strings.Join(rev, "|") {
+		t.Errorf("topoOrder depends on argument order:\nfwd: %v\nrev: %v", fwd, rev)
+	}
+	index := make(map[string]int, len(fwd))
+	for i, p := range fwd {
+		index[p] = i
+	}
+	for _, p := range topoOrder([]*Package{a, b}) {
+		for _, dep := range p.Imports {
+			if index[dep.Path] > index[p.Path] {
+				t.Errorf("dependency %s ordered after dependent %s", dep.Path, p.Path)
+			}
 		}
 	}
 }

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectiveAudit polices the suppression directives themselves. A
+// directive is a claim that a finding on its line (or the line below
+// it) is a justified exception; the audit keeps those claims honest:
+// a directive that suppresses nothing is stale and must be deleted, a
+// directive naming an unknown analyzer is a typo silently doing
+// nothing, and a directive without a justification is an exception
+// nobody can review. The audit has no Run of its own — the engine
+// tracks directive usage as findings flow through the suppression
+// filter and reports here after every pass has run.
+var DirectiveAudit = &Analyzer{
+	Name: "directive",
+	Doc:  "flags unused, unknown-analyzer, and unjustified tmplint suppression directives",
+}
+
+// directive is one parsed //tmplint:... comment.
+type directive struct {
+	pkg      *Package
+	pos      token.Position
+	verb     string // "ordered", "allow", or anything else (unknown)
+	analyzer string // for allow: the named analyzer
+	justed   bool   // has a non-empty justification
+	used     bool   // suppressed at least one finding this run
+}
+
+// collectDirectives scans every target package's files once and
+// builds the filename -> directives table the suppression filter and
+// the audit share. Test packages contribute only their _test.go files
+// (the base files' directives were collected when the base package
+// was scanned); duplicates from re-parsed files are dropped by
+// (file, line) identity.
+func (e *engine) collectDirectives() {
+	type fileLine struct {
+		file string
+		line int
+	}
+	seen := make(map[fileLine]bool)
+	for _, pkg := range e.packages {
+		if !e.targets[pkg] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "tmplint:") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if pkg.ForTest && !strings.HasSuffix(pos.Filename, "_test.go") {
+						continue
+					}
+					if key := (fileLine{pos.Filename, pos.Line}); seen[key] {
+						continue
+					} else {
+						seen[key] = true
+					}
+					d := &directive{pkg: pkg, pos: pos}
+					rest := strings.TrimPrefix(text, "tmplint:")
+					d.verb, rest = cutField(rest)
+					switch d.verb {
+					case "ordered":
+						d.justed = rest != ""
+					case "allow":
+						d.analyzer, rest = cutField(rest)
+						d.justed = rest != ""
+					}
+					e.directives[pos.Filename] = append(e.directives[pos.Filename], d)
+				}
+			}
+		}
+	}
+}
+
+// cutField splits the first whitespace-separated field off s.
+func cutField(s string) (field, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+// orderedSuppressible lists the analyzers the bare tmplint:ordered
+// directive covers — the order-sensitivity checks it predates the
+// allow form for. Everything else must use tmplint:allow <analyzer>.
+var orderedSuppressible = map[string]bool{"maprange": true, "floatsum": true}
+
+// suppressed reports whether a directive covers the finding (same
+// line or the line directly above it), marking the directive used.
+func (e *engine) suppressed(f Finding) bool {
+	hit := false
+	for _, d := range e.directives[f.Pos.Filename] {
+		if d.pos.Line != f.Pos.Line && d.pos.Line != f.Pos.Line-1 {
+			continue
+		}
+		switch d.verb {
+		case "ordered":
+			if orderedSuppressible[f.Analyzer] {
+				d.used = true
+				hit = true
+			}
+		case "allow":
+			if d.analyzer == f.Analyzer {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// orderedAt reports whether a tmplint:ordered directive sits on the
+// given line or the line above it, marking it used. Pass.Suppressed
+// routes here for analyzers with scope-based suppression (floatsum's
+// enclosing-range check).
+func (e *engine) orderedAt(filename string, line int) bool {
+	hit := false
+	for _, d := range e.directives[filename] {
+		if d.verb != "ordered" {
+			continue
+		}
+		if d.pos.Line == line || d.pos.Line == line-1 {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// auditDirectives reports malformed and unused directives after every
+// pass has run. File order is sorted and directives appear in source
+// order within a file; the final global finding sort canonicalizes
+// regardless.
+func (e *engine) auditDirectives() {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	files := make([]string, 0, len(e.directives))
+	for f := range e.directives {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		for _, d := range e.directives[file] {
+			report := func(format string, args ...any) {
+				e.report(d.pkg, Finding{
+					Analyzer: DirectiveAudit.Name,
+					Pos:      d.pos,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			switch d.verb {
+			case "ordered":
+				if !d.justed {
+					report("tmplint:ordered directive without a justification: say why iteration order cannot escape")
+				} else if !d.used {
+					report("unused tmplint:ordered directive: no maprange/floatsum finding here; delete it")
+				}
+			case "allow":
+				if !known[d.analyzer] {
+					report("tmplint:allow names unknown analyzer %q (known: %s)", d.analyzer, knownNames(known))
+				} else if !d.justed {
+					report("tmplint:allow %s directive without a justification", d.analyzer)
+				} else if !d.used {
+					report("unused tmplint:allow %s directive: no %s finding here; delete it", d.analyzer, d.analyzer)
+				}
+			default:
+				report("unknown tmplint directive %q (want ordered or allow)", d.verb)
+			}
+		}
+	}
+}
+
+// knownNames renders the analyzer-name set sorted.
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,83 +1,69 @@
-// Package analysis is tmplint's static-analysis framework: a
+// Package analysis is tmplint's static-analysis engine: a
 // self-contained analyzer harness built only on the standard library's
 // go/parser and go/types (go.mod stays dependency-free), plus the
 // repo-specific analyzers that machine-check the simulator's
-// reproducibility contract — same seed, same workload, same per-page
-// hotness ranks (DESIGN.md §2).
+// reproducibility and layering contracts — same seed, same workload,
+// same per-page hotness ranks (DESIGN.md §2).
 //
-// # Analyzers
+// ANALYSIS.md at the repo root is the reference: every analyzer's
+// contract, example findings, the suppression grammar, and how to add
+// an analyzer. This comment covers the engine itself.
 //
-// maprange — flags `for range` over a map in non-test internal/
-// packages. Go randomizes map iteration order, so an order-sensitive
-// loop body makes rankings, reports, and figures differ between runs
-// of the same seed. A site is exempt when its body is provably
-// order-insensitive (commutative accumulation: x += e, x++, bit-ors,
-// inserts into another map, comparison-guarded min/max tracking,
-// delete), when it only appends to slices that a later statement in
-// the same block sorts, or when it carries a //tmplint:ordered
-// justification. Everything else should iterate
-// order.SortedKeys/order.SortedKeysFunc.
+// # Engine
 //
-// wallclock — forbids time.Now, time.Since, and the global math/rand
-// (and math/rand/v2) source in internal/ packages. Simulator time is
-// virtual cycles; randomness must be injected through an explicitly
-// seeded *rand.Rand. Seeded-source constructors (rand.New,
-// rand.NewSource, rand.NewZipf, rand.NewPCG, rand.NewChaCha8) and
-// methods on a *rand.Rand value stay legal.
+// Run analyzes packages in deterministic topological import order
+// (Kahn's algorithm over the import graph, lexicographic path
+// tie-break), so a package is always analyzed after its dependencies
+// and the order never depends on map iteration or argument order.
 //
-// epochaccount — restricts writes to the profiling counters ranks are
-// computed from: core.PageStat's Abit/Trace/Write/True and
-// mem.PageDescriptor's *Epoch/*Total fields. Only the sanctioned
-// accumulation paths may write them — internal/abit (A-bit scan),
-// internal/core (trace drain, harvest, SumEpochs/AttachTruth),
-// internal/cpu (ground truth), internal/mem (allocation, reset,
-// rollover), internal/pml (write log), internal/policy (migration
-// transfer). Code elsewhere must aggregate through core.SumEpochs or
-// core.AttachTruth instead of open-coding counter writes.
+// Analyzers communicate across packages through facts: values
+// attached to package-level objects (or whole packages) while
+// analyzing the defining package and visible to every later pass that
+// imports it. The taint pass runs first on every package — requesting
+// analyzers only filters which findings are reported — and marks
+// exported functions whose results derive from wall-clock time or
+// global math/rand; wallclock, telemetry, and faultrand consume those
+// facts, making their checks transitive across package boundaries.
+// rankpath and ctrname export facts of their own ("rankcmp",
+// "namefunc", "ctrsites") the same way.
 //
-// floatsum — flags floating-point accumulation (+=, -=, x = x + e,
-// ...) into a variable declared outside a map-range body. Float
-// addition does not associate, so map-ordered summation makes the low
-// bits of report output vary run to run. Accumulate over
-// order.SortedKeys, or suppress with //tmplint:ordered when sub-ulp
-// jitter is genuinely acceptable.
+// Findings are filtered (suppression directives, requested set,
+// test-variant scoping) and sorted by (file, line, column, analyzer),
+// so output is byte-stable run to run.
 //
-// exhaustive — flags switch statements over repo enum types (a
-// defined integer or string type with at least two package-level
-// constants, e.g. core.Method, mem.TierID) that miss enumerators and
-// have no default case. Switches with a default, full coverage, or
-// non-constant case expressions are exempt.
+// # Test variants
 //
-// # Suppression
-//
-// A finding from maprange or floatsum is suppressed by a comment
-// beginning //tmplint:ordered on the flagged statement's line or the
-// line directly above it. Follow the directive with a justification:
-//
-//	//tmplint:ordered feeds a set; iteration order cannot escape
-//	for k := range pages { ... }
-//
-// wallclock, epochaccount, and exhaustive findings are deliberately
-// not suppressible — fix the code or extend the sanctioned lists here.
+// Loader.LoadTests builds up to two extra passes per package: the
+// in-package test variant ("path [tests]") sharing the base ASTs plus
+// _test.go files, and the external test package ("path_test [tests]").
+// Only analyzers with Tests: true run on variants, and only findings
+// located in _test.go files are reported from them.
 //
 // # Adding an analyzer
 //
 // Create a file in this package defining a var of type *Analyzer with
 // a Name (also its fixture directory name and finding tag), a Doc
-// line, and a Run func inspecting one type-checked *Pass. Register it
-// in Analyzers() in analysis.go. Add a fixture package under
-// testdata/src/<name>/ whose flagged lines carry `// want "regex"`
-// comments, and a one-line runFixture test in analysis_test.go; the
-// harness checks positions and messages both ways (no unexpected
-// findings, no unmatched expectations). TestRepoIsClean then enforces
-// the new analyzer repo-wide.
+// line, optionally Tests: true, and a Run func inspecting one
+// type-checked *Pass (plus a Finish func for fact-consuming,
+// whole-suite checks). Register it in Analyzers() in analysis.go. Add
+// a fixture package under testdata/src/<name>/ whose flagged lines
+// carry `// want` comments — one backquoted regexp per expected
+// finding on that line; the block form /* want ... */ when the line's
+// trailing // comment is itself a directive under test — and a
+// one-line runFixture test in analysis_test.go. The harness checks
+// positions and messages both ways (no unexpected findings, no
+// unmatched expectations), and TestRepoIsClean then enforces the new
+// analyzer repo-wide.
 //
 // # Driver
 //
 // cmd/tmplint loads packages through Loader (a go/parser + go/types
 // loader that resolves module-internal imports itself and delegates
-// the standard library to the source importer), runs Analyzers(), and
-// prints file:line:col findings (-json for machine-readable output),
-// exiting 1 when anything is found. scripts/check.sh wires it into
-// the repo gate next to go vet, gofmt, and go test -race.
+// the standard library to the source importer), runs the suite, and
+// prints findings as text, JSON (-json / -format=json, carrying each
+// analyzer's doc), or GitHub Actions annotations (-format=github),
+// exiting 1 when anything is found. -tests adds the test variants;
+// -times prints per-analyzer wall time. scripts/check.sh and CI's
+// lint job wire it into the repo gate next to go vet, gofmt, and
+// go test -race.
 package analysis

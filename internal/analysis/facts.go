@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// A Fact is a piece of knowledge an analyzer derives about a
+// package-level object (or a whole package) and publishes for
+// downstream passes. Facts are what make the suite interprocedural:
+// the taint provider marks "this function's result derives from the
+// wall clock", ctrname marks "this function only ever returns
+// well-shaped constant counter names", rankpath marks "this function
+// is a sanctioned rank comparator" — and a pass over a *different*
+// package, running later in the engine's topological order, imports
+// those marks instead of re-deriving (or missing) them.
+//
+// Facts live only for one engine run; they are never serialized. The
+// kind string namespaces facts so unrelated analyzers cannot collide
+// on the same object.
+type Fact interface {
+	// FactKind names the fact type, e.g. "taint". Lookups are by
+	// (object, kind), so kinds must be unique per fact type.
+	FactKind() string
+}
+
+// objFactKey addresses one object-scoped fact.
+type objFactKey struct {
+	obj  types.Object
+	kind string
+}
+
+// pkgFactKey addresses one package-scoped fact.
+type pkgFactKey struct {
+	pkg  *types.Package
+	kind string
+}
+
+// ExportObjectFact publishes a fact about obj. obj should belong to
+// the package under analysis (facts about upstream objects were
+// already computed when their package ran; overwriting them would
+// make results order-dependent), but the engine does not forbid
+// same-package refinement during a fixed-point pass.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || f == nil {
+		return
+	}
+	p.eng.objFacts[objFactKey{obj, f.FactKind()}] = f
+}
+
+// ObjectFact returns the fact of the given kind attached to obj, or
+// nil. It sees facts exported by any analyzer on any package already
+// visited in the engine's topological order — including the current
+// package's own earlier passes.
+func (p *Pass) ObjectFact(obj types.Object, kind string) Fact {
+	if obj == nil {
+		return nil
+	}
+	return p.eng.objFacts[objFactKey{obj, kind}]
+}
+
+// ExportPackageFact publishes a fact about the package under
+// analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if f == nil {
+		return
+	}
+	p.eng.pkgFacts[pkgFactKey{p.Pkg.Types, f.FactKind()}] = f
+}
+
+// PackageFact returns the fact of the given kind attached to pkg, or
+// nil.
+func (p *Pass) PackageFact(pkg *types.Package, kind string) Fact {
+	if pkg == nil {
+		return nil
+	}
+	return p.eng.pkgFacts[pkgFactKey{pkg, kind}]
+}

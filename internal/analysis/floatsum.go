@@ -72,9 +72,9 @@ func checkFloatAccum(pass *Pass, rs *ast.RangeStmt) {
 			if localTo(pass, lhs, rs.Body) {
 				continue
 			}
-			if pass.Suppressed(st.Pos()) {
-				continue
-			}
+			// A directive on the statement's own line is handled by the
+			// engine's report filter; only the enclosing-range-line
+			// suppression above needs analyzer cooperation.
 			pass.Reportf(st.Pos(), "float accumulation into %s over map iteration: rounding depends on visit order; accumulate over order.SortedKeys", types.ExprString(lhs))
 		}
 		return true

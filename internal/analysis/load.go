@@ -27,6 +27,16 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's expression annotations.
 	Info *types.Info
+	// Imports holds the module-internal packages this one imports
+	// directly, sorted by path. Standard-library imports are omitted:
+	// the engine's topological order only needs the edges facts can
+	// flow along.
+	Imports []*Package
+	// ForTest marks a test variant loaded by LoadTests: the package's
+	// _test.go files type-checked together with (or against) the base
+	// files. Only analyzers with Tests set run on these, and only
+	// findings in _test.go files are reported.
+	ForTest bool
 }
 
 // Loader parses and type-checks module packages from source. It keeps
@@ -200,15 +210,111 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
 	}
 	pkg := &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    importPath,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: l.moduleImports(tpkg),
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// moduleImports resolves tpkg's direct imports to the loader's
+// module-internal packages, sorted by path. By the time a package's
+// type check returns, every dependency is fully loaded, so the lookups
+// always hit.
+func (l *Loader) moduleImports(tpkg *types.Package) []*Package {
+	var imports []*Package
+	for _, ip := range tpkg.Imports() {
+		if dep := l.pkgs[ip.Path()]; dep != nil {
+			imports = append(imports, dep)
+		}
+	}
+	sort.Slice(imports, func(i, j int) bool { return imports[i].Path < imports[j].Path })
+	return imports
+}
+
+// LoadTests loads the test code of each package in pkgs that has
+// _test.go files. In-package test files are type-checked together with
+// the already-parsed base files as one variant (path suffixed
+// " [tests]"); external package_test files become their own variant.
+// Base files are shared by AST identity, so their positions — and the
+// suppression directives on them — are not duplicated.
+func (l *Loader) LoadTests(pkgs []*Package) ([]*Package, error) {
+	var out []*Package
+	for _, base := range pkgs {
+		entries, err := os.ReadDir(base.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var inFiles, extFiles []*ast.File
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(l.Fset, filepath.Join(base.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				extFiles = append(extFiles, f)
+			} else {
+				inFiles = append(inFiles, f)
+			}
+		}
+		if len(inFiles) > 0 {
+			files := append(append([]*ast.File{}, base.Files...), inFiles...)
+			pkg, err := l.checkTestVariant(base.Path+" [tests]", base.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			// The variant re-checks the base files, so its objects are
+			// distinct from the base package's; record the dependency
+			// edge explicitly to keep the variant after its base in
+			// topological order.
+			pkg.Imports = append(pkg.Imports, base)
+			sort.Slice(pkg.Imports, func(i, j int) bool { return pkg.Imports[i].Path < pkg.Imports[j].Path })
+			out = append(out, pkg)
+		}
+		if len(extFiles) > 0 {
+			pkg, err := l.checkTestVariant(base.Path+"_test [tests]", base.Dir, extFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// checkTestVariant type-checks one test variant without registering it
+// in the import-memo table (test variants are not importable).
+func (l *Loader) checkTestVariant(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*moduleImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:    path,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: l.moduleImports(tpkg),
+		ForTest: true,
+	}, nil
 }
 
 // moduleImporter resolves module-internal imports through the loader

@@ -23,9 +23,10 @@ import (
 // Everything else should iterate via order.SortedKeys /
 // order.SortedKeysFunc instead.
 var MapRange = &Analyzer{
-	Name: "maprange",
-	Doc:  "flags order-sensitive `for range` over maps in internal/ packages",
-	Run:  runMapRange,
+	Name:  "maprange",
+	Doc:   "flags order-sensitive `for range` over maps in internal/ packages",
+	Run:   runMapRange,
+	Tests: true,
 }
 
 func runMapRange(pass *Pass) {
@@ -38,9 +39,9 @@ func runMapRange(pass *Pass) {
 			if !ok || mapTypeOf(pass, rs.X) == nil {
 				return
 			}
-			if pass.Suppressed(rs.Pos()) {
-				return
-			}
+			// Suppression is the engine's job (the report filter); the
+			// analyzer always classifies the body, so a directive on an
+			// order-insensitive range is correctly reported as unused.
 			chk := &bodyChecker{pass: pass, body: rs.Body}
 			chk.checkStmts(rs.Body.List)
 			if chk.bad {

@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RankPath enforces the single-comparator contract: any sort over
+// rank-shaped data (anything carrying a core.PageKey) in the policy,
+// mover, memory, and experiment packages must route its ordering
+// through the canonical comparators in internal/core (RankCmp,
+// RankLess, ColdestLess, PageKeyLess) or the bounded selectors built
+// on them (TopK, TopKFunc). A hand-rolled tie-break that drifts from
+// RankCmp silently diverges selections between packages — the exact
+// bug class core/rank.go exists to end.
+//
+// The check is interprocedural: a package-level function whose every
+// return delegates to a canonical comparator earns a "rankcmp" fact,
+// so downstream packages may sort with it; local closures are resolved
+// lexically through their defining assignment.
+var RankPath = &Analyzer{
+	Name: "rankpath",
+	Doc:  "forbids hand-rolled comparators over rank-shaped data in policy/mem/experiments; route through core.RankCmp/core.TopK",
+	Run:  runRankPath,
+}
+
+// rankCmpFact marks a function as a sanctioned comparator: its result
+// is fully delegated to internal/core's canonical comparators.
+type rankCmpFact struct{}
+
+func (rankCmpFact) FactKind() string { return "rankcmp" }
+
+// rankPathScope lists the import-path fragments the sort check applies
+// to. Fact export runs everywhere so any package can publish a
+// sanctioned comparator.
+var rankPathScope = []string{"internal/policy", "internal/mem", "internal/experiments"}
+
+func runRankPath(pass *Pass) {
+	exportRankCmpFacts(pass)
+	inScope := false
+	for _, frag := range rankPathScope {
+		if strings.Contains(pass.Path(), frag) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			var cmp ast.Expr
+			switch {
+			case fn.Pkg().Path() == "sort" && (fn.Name() == "Slice" || fn.Name() == "SliceStable"):
+				if len(call.Args) == 2 {
+					cmp = call.Args[1]
+				}
+			case fn.Pkg().Path() == "sort" && (fn.Name() == "Sort" || fn.Name() == "Stable"):
+				// sort.Interface hides the comparator entirely; the
+				// canonical path is a slice plus a core comparator.
+				pass.Reportf(call.Pos(), "sort.%s over an opaque sort.Interface in %s: sort a slice with core.RankLess/core.PageKeyLess so the order is auditable", fn.Name(), shortPath(pass.Path()))
+				return true
+			case fn.Pkg().Path() == "slices" && (fn.Name() == "SortFunc" || fn.Name() == "SortStableFunc"):
+				if len(call.Args) == 2 {
+					cmp = call.Args[1]
+				}
+			default:
+				return true
+			}
+			if cmp == nil {
+				return true
+			}
+			if !mentionsPageKey(pass, cmp) && !mentionsPageKey(pass, call.Args[0]) {
+				return true
+			}
+			if sanctionedComparator(pass, cmp, 0) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "hand-rolled rank comparator over page data: route the order through core.RankCmp/core.RankLess (or select with core.TopKFunc) so the tie-break cannot drift")
+			return true
+		})
+	}
+}
+
+// exportRankCmpFacts publishes a rankcmp fact for every package-level
+// function whose every return delegates to a canonical comparator.
+func exportRankCmpFacts(pass *Pass) {
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !comparatorResult(fd.Type) {
+				continue
+			}
+			obj, _ := pass.Types().Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			delegated, returns := true, 0
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				returns++
+				if len(ret.Results) != 1 || !callsCanonicalCmp(pass, ret.Results[0], 0) {
+					delegated = false
+				}
+				return true
+			})
+			if delegated && returns > 0 {
+				pass.ExportObjectFact(obj, rankCmpFact{})
+			}
+		}
+	}
+}
+
+// comparatorResult reports whether the signature returns exactly one
+// bool or int — the shape of a less/cmp function.
+func comparatorResult(ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) != 1 || len(ft.Results.List[0].Names) > 1 {
+		return false
+	}
+	id, ok := ft.Results.List[0].Type.(*ast.Ident)
+	return ok && (id.Name == "bool" || id.Name == "int")
+}
+
+// sanctionedComparator reports whether the comparator expression
+// routes through a canonical core comparator: directly (a func literal
+// or named function whose body delegates), via a rankcmp fact, or via
+// a local closure variable resolved through its defining assignment.
+func sanctionedComparator(pass *Pass, cmp ast.Expr, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	switch e := ast.Unparen(cmp).(type) {
+	case *ast.FuncLit:
+		return callsCanonicalCmp(pass, e.Body, depth)
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		if id, ok := e.(*ast.Ident); ok {
+			obj = pass.Types().ObjectOf(id)
+		} else {
+			obj = pass.Types().ObjectOf(e.(*ast.SelectorExpr).Sel)
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			return isCanonicalCmpFunc(fn) || pass.ObjectFact(fn, "rankcmp") != nil
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if lit := definingFuncLit(pass, v); lit != nil {
+				return callsCanonicalCmp(pass, lit.Body, depth)
+			}
+		}
+	}
+	return false
+}
+
+// callsCanonicalCmp reports whether node lexically contains a call to
+// a canonical comparator, a rankcmp-fact function, or a local closure
+// that does.
+func callsCanonicalCmp(pass *Pass, node ast.Node, depth int) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeOf(pass, call); fn != nil {
+			if isCanonicalCmpFunc(fn) || pass.ObjectFact(fn, "rankcmp") != nil {
+				found = true
+				return false
+			}
+		}
+		if sanctionedComparator(pass, call.Fun, depth+1) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isCanonicalCmpFunc reports whether fn is one of internal/core's
+// canonical comparators or bounded selectors.
+func isCanonicalCmpFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/core") {
+		return false
+	}
+	switch fn.Name() {
+	case "RankCmp", "RankLess", "ColdestLess", "PageKeyLess", "TopK", "TopKFunc":
+		return true
+	}
+	return false
+}
+
+// mentionsPageKey reports whether any expression under e has (or
+// contains a selector on) type core.PageKey — the "rank-shaped" gate
+// that keeps rankpath away from sorts over unrelated data.
+func mentionsPageKey(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(expr); t != nil && typeTouchesPageKey(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// typeTouchesPageKey reports whether t is core.PageKey, or a
+// slice/array/pointer of, or a struct directly embedding one.
+func typeTouchesPageKey(t types.Type) bool { return touchesPageKey(t, 0) }
+
+func touchesPageKey(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		if isPageKey(u) {
+			return true
+		}
+		return touchesPageKey(u.Underlying(), depth+1)
+	case *types.Slice:
+		return touchesPageKey(u.Elem(), depth+1)
+	case *types.Array:
+		return touchesPageKey(u.Elem(), depth+1)
+	case *types.Pointer:
+		return touchesPageKey(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isPageKey(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// definingFuncLit resolves a local comparator variable to the func
+// literal assigned to it, scanning the package's files for a
+// `v := func(...) ... { ... }` definition.
+func definingFuncLit(pass *Pass, v *types.Var) *ast.FuncLit {
+	var lit *ast.FuncLit
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit != nil {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, l := range as.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || pass.Types().ObjectOf(id) != v {
+					continue
+				}
+				if fl, ok := as.Rhs[i].(*ast.FuncLit); ok {
+					lit = fl
+					return false
+				}
+			}
+			return true
+		})
+		if lit != nil {
+			break
+		}
+	}
+	return lit
+}
+
+// shortPath trims the module prefix off an import path for messages.
+func shortPath(path string) string {
+	if i := strings.Index(path, "internal/"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}

@@ -77,9 +77,22 @@ func isTelemetryCall(pass *Pass, call *ast.CallExpr) bool {
 }
 
 // checkTelemetryArg flags wall-clock reads and global rand draws
-// anywhere inside one argument expression.
+// anywhere inside one argument expression — both direct (time.Now in
+// the argument) and laundered (a call to a function whose taint fact
+// says its result derives from the clock or global rand).
 func checkTelemetryArg(pass *Pass, arg ast.Expr) {
 	ast.Inspect(arg, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeOf(pass, call); fn != nil && fn.Pkg() != nil {
+				if f, _ := pass.ObjectFact(fn, "taint").(*taintFact); f != nil {
+					if f.Wall {
+						pass.Reportf(call.Pos(), "wall-clock-derived value flows into a telemetry call: %s.%s derives from %s", fn.Pkg().Name(), fn.Name(), f.Via)
+					} else if f.Rand {
+						pass.Reportf(call.Pos(), "global-rand-derived value flows into a telemetry call: %s.%s derives from %s", fn.Pkg().Name(), fn.Name(), f.Via)
+					}
+				}
+			}
+		}
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true

@@ -1,0 +1,53 @@
+// Package fixture exercises the ctrname analyzer: telemetry counters
+// register under constant <subsystem>/<metric> names, dynamic names go
+// through telemetry.Name or a namefunc helper, and every name is
+// unique across the module.
+package fixture
+
+import "tieredmem/internal/telemetry"
+
+func badShapes(r *telemetry.Registry) {
+	r.Counter("retries").Add(1)       // want `is not <subsystem>/<metric> shaped`
+	r.Counter("Fault/Retries").Add(1) // want `is not <subsystem>/<metric> shaped`
+	r.Counter("fault//site").Add(1)   // want `is not <subsystem>/<metric> shaped`
+}
+
+func dynamicName(r *telemetry.Registry, site string) {
+	r.Counter("fault/" + site).Add(1) // want `registered with a non-constant name`
+}
+
+// opaque is a string helper the analyzer cannot prove well-shaped.
+func opaque(site string) string { return site }
+
+func launderedName(r *telemetry.Registry, site string) {
+	r.Counter(opaque(site)).Add(1) // want `registered with a non-constant name`
+}
+
+func constOK(r *telemetry.Registry) {
+	r.Counter("mover/promotions").Add(1)
+}
+
+func sanitizedOK(r *telemetry.Registry, site string) {
+	r.Counter(telemetry.Name("fault", site)).Add(1)
+}
+
+// siteCounter is a namefunc helper: every return is a well-shaped
+// constant, so callers may register through it.
+func siteCounter(retrying bool) string {
+	if retrying {
+		return "fault/retries"
+	}
+	return "fault/injections"
+}
+
+func helperOK(t *telemetry.Tracer, retrying bool) {
+	t.Counter(siteCounter(retrying)).Add(1)
+}
+
+func firstDup(r *telemetry.Registry) {
+	r.Counter("dup/name").Add(1)
+}
+
+func secondDup(t *telemetry.Tracer) {
+	t.Counter("dup/name").Add(1) // want `already registered at`
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the densemap analyzer: per-page state in
+// internal/ packages must be a dense column over pageidx interned ids,
+// not a map keyed by core.PageKey.
+package fixture
+
+import (
+	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
+)
+
+type perPageState struct {
+	counts map[core.PageKey]uint64 // want `use a dense column over core/pageidx interned ids`
+	// A page set is an output, not a per-page state column.
+	selected map[core.PageKey]struct{}
+}
+
+func accumulate(keys []core.PageKey) map[core.PageKey]float64 { // want `use a dense column over core/pageidx interned ids`
+	scores := make(map[core.PageKey]float64) // want `use a dense column over core/pageidx interned ids`
+	for _, k := range keys {
+		scores[k] += 1
+	}
+	return scores
+}
+
+// denseOK is the sanctioned shape: interned ids index plain slices.
+type denseOK struct {
+	tab    *pageidx.Table[core.PageKey]
+	counts []uint64
+}
+
+func (d *denseOK) add(k core.PageKey) {
+	id := d.tab.Intern(k)
+	if int(id) == len(d.counts) {
+		d.counts = append(d.counts, 0)
+	}
+	d.counts[id]++
+}
+
+// Maps keyed by anything else are not this analyzer's business.
+func byName(names []string) map[string]int {
+	out := make(map[string]int, len(names))
+	for _, n := range names {
+		out[n]++
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the goroutine analyzer: concurrency
+// primitives are fenced into internal/runner and internal/telemetry;
+// everywhere else they are a second scheduler in a deterministic
+// simulator.
+package fixture
+
+import "sync"
+
+func work() {}
+
+func launch() {
+	go work() // want `go statement outside internal/runner`
+}
+
+func pipe() {
+	ch := make(chan int, 1) // want `channel outside internal/runner and internal/telemetry`
+	ch <- 1                 // want `channel send outside internal/runner and internal/telemetry`
+	select { // want `select outside internal/runner and internal/telemetry`
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+func shared() {
+	var m sync.Map // want `sync.Map outside internal/runner and internal/telemetry`
+	m.Store("k", 1)
+}
+
+// Guarding shared state is fine; only schedule-dependent ordering is
+// not.
+func guardedOK() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func waitOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}

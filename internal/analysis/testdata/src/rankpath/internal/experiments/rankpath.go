@@ -1,0 +1,78 @@
+// Package fixture exercises the rankpath analyzer: every sort over
+// rank-shaped data (anything carrying a core.PageKey) must route its
+// order through internal/core's canonical comparators.
+package fixture
+
+import (
+	"sort"
+
+	"tieredmem/internal/core"
+)
+
+type pageCount struct {
+	Key   core.PageKey
+	Count uint64
+}
+
+func handRolled(keys []core.PageKey) {
+	sort.Slice(keys, func(i, j int) bool { // want `hand-rolled rank comparator over page data`
+		return keys[i].VPN < keys[j].VPN
+	})
+}
+
+func handRolledStable(rows []pageCount) {
+	sort.SliceStable(rows, func(i, j int) bool { // want `hand-rolled rank comparator over page data`
+		return rows[i].Count > rows[j].Count
+	})
+}
+
+func localBadClosure(keys []core.PageKey) {
+	bad := func(a, b core.PageKey) bool { return a.PID < b.PID }
+	sort.Slice(keys, func(i, j int) bool { return bad(keys[i], keys[j]) }) // want `hand-rolled rank comparator over page data`
+}
+
+type byVPN []core.PageKey
+
+func (s byVPN) Len() int           { return len(s) }
+func (s byVPN) Less(i, j int) bool { return s[i].VPN < s[j].VPN }
+func (s byVPN) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+func opaqueInterface(keys []core.PageKey) {
+	sort.Sort(byVPN(keys)) // want `sort.Sort over an opaque sort.Interface`
+}
+
+func canonicalOK(keys []core.PageKey) {
+	sort.Slice(keys, func(i, j int) bool { return core.PageKeyLess(keys[i], keys[j]) })
+}
+
+func canonicalRankOK(rows []pageCount) {
+	sort.Slice(rows, func(i, j int) bool {
+		return core.RankLess(float64(rows[i].Count), float64(rows[j].Count), false, false, rows[i].Key, rows[j].Key)
+	})
+}
+
+// pageLess delegates every return to a canonical comparator, earning a
+// rankcmp fact that sanctions sorts routed through it.
+func pageLess(a, b core.PageKey) bool {
+	return core.PageKeyLess(a, b)
+}
+
+func factOK(keys []core.PageKey) {
+	sort.Slice(keys, func(i, j int) bool { return pageLess(keys[i], keys[j]) })
+}
+
+func localClosureOK(keys []core.PageKey) {
+	less := func(a, b core.PageKey) bool { return core.PageKeyLess(a, b) }
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+}
+
+func topOK(rows []pageCount) []pageCount {
+	return core.TopKFunc(rows, 8, func(a, b pageCount) bool {
+		return core.RankLess(float64(a.Count), float64(b.Count), false, false, a.Key, b.Key)
+	})
+}
+
+// Sorts over data with no page identity are out of scope.
+func plainOK(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

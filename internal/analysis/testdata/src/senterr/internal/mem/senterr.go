@@ -1,0 +1,64 @@
+// Package fixture exercises the senterr analyzer: failures in the
+// fault/mem/policy domains are classified with errors.Is against
+// package-level sentinels, never by matching error text or comparing
+// error values directly.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Package-level sentinels are the sanctioned shape.
+var (
+	ErrTierFull = errors.New("fixture: tier full")
+	ErrPinned   = errors.New("fixture: page pinned")
+)
+
+func textCompare(err error) bool {
+	return err.Error() == "fixture: tier full" // want `comparing err.Error`
+}
+
+func textCompareNeq(err error) bool {
+	return "fixture: page pinned" != err.Error() // want `comparing err.Error`
+}
+
+func textMatch(err error) bool {
+	return strings.Contains(err.Error(), "tier full") // want `matching err.Error.. text with strings.Contains`
+}
+
+func textPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "fixture:") // want `matching err.Error.. text with strings.HasPrefix`
+}
+
+func directCompare(err error) bool {
+	return err == ErrTierFull // want `direct == comparison of errors breaks under wrapping`
+}
+
+func directNotEqual(err error) bool {
+	return err != ErrPinned // want `direct != comparison of errors breaks under wrapping`
+}
+
+func adHoc(full bool) error {
+	if full {
+		return errors.New("fixture: out of room") // want `errors.New inside a function body`
+	}
+	return nil
+}
+
+// Classification through errors.Is, nil checks, and %w wrapping are
+// the sanctioned patterns.
+func classifyOK(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrTierFull)
+}
+
+func wrapOK(err error) error {
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package fixture proves the engine's cross-package fact propagation:
+// the taint sources live in tieredmem/testdata/taintsrc/ext (outside
+// internal/, where the wallclock analyzer never looks), yet the
+// findings land here, at the internal/ call sites that consume the
+// laundered results.
+package fixture
+
+import (
+	"tieredmem/internal/fault"
+	"tieredmem/internal/telemetry"
+	"tieredmem/testdata/taintsrc/ext"
+)
+
+func launderedStamp(t *telemetry.Tracer) {
+	t.EmitDaemonTick(ext.Stamp(), 1) // want `wall-clock-derived value flows into a telemetry call` `launders wall-clock time into internal/ code`
+}
+
+func launderedTwoHops(t *telemetry.Tracer) {
+	t.EmitDaemonTick(ext.Indirect(), 1) // want `wall-clock-derived value flows into a telemetry call` `launders wall-clock time into internal/ code`
+}
+
+func launderedSeed() *fault.Plane {
+	return fault.New(fault.Spec{}, ext.Roll()) // want `global-rand-derived value flows into a fault-package call` `launders global randomness into internal/ code`
+}
+
+func pureOK(t *telemetry.Tracer) {
+	t.EmitDaemonTick(ext.Pure(42), 1)
+}

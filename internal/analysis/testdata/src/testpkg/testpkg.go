@@ -1,0 +1,6 @@
+// Package fixture is the -tests fixture: the base file is clean; the
+// violations live in the _test.go files that only LoadTests sees.
+package fixture
+
+// Base is referenced by the in-package test file.
+func Base() int { return 1 }

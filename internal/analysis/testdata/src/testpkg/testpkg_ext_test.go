@@ -1,0 +1,9 @@
+package fixture_test
+
+import "testing"
+
+func TestSpawn(t *testing.T) {
+	done := make(chan struct{}, 1) // want `channel outside internal/runner and internal/telemetry`
+	go func() { done <- struct{}{} }() // want `go statement outside internal/runner` `channel send outside internal/runner and internal/telemetry`
+	<-done
+}

@@ -1,0 +1,6 @@
+package fixture
+
+func helperChan() chan int { // want `channel outside internal/runner and internal/telemetry`
+	_ = Base()
+	return make(chan int, 1) // want `channel outside internal/runner and internal/telemetry`
+}

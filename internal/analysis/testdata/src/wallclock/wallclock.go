@@ -16,6 +16,26 @@ func virtualTimeOK(nowNS int64) int64 {
 	return nowNS + int64(5*time.Millisecond)
 }
 
+func deadlineUntil(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until in internal/ code`
+}
+
+func tickers() {
+	tk := time.NewTicker(time.Second) // want `time.NewTicker in internal/ code`
+	defer tk.Stop()
+	tm := time.NewTimer(time.Second) // want `time.NewTimer in internal/ code`
+	defer tm.Stop()
+	<-time.After(time.Second) // want `time.After in internal/ code`
+}
+
+func deferredWork() {
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc in internal/ code`
+}
+
+func sleepyPoll() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in internal/ code`
+}
+
 func globalRand() int {
 	return rand.Intn(10) // want `global rand.Intn in internal/ code`
 }

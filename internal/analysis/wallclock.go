@@ -10,13 +10,17 @@ import (
 // internal/ packages. All simulator time is virtual cycles and all
 // randomness must flow from an explicitly seeded *rand.Rand, or the
 // same seed stops producing the same per-page hotness ranks. Flags
-// time.Now, time.Since, and math/rand (or math/rand/v2) package-level
-// functions that draw from the global source; constructors that build
-// seeded sources (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG,
+// the time package's clock-derived functions (time.Now, time.Since,
+// time.Until, time.After, time.Tick, time.NewTicker, time.NewTimer,
+// time.AfterFunc) plus time.Sleep, math/rand (or math/rand/v2)
+// package-level functions that draw from the global source, and —
+// via taint facts — calls to outside functions that launder either
+// into internal/ code. Constructors that build seeded sources
+// (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG,
 // rand.NewChaCha8) stay legal.
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "forbids time.Now/time.Since and global math/rand in internal/ packages",
+	Doc:  "forbids wall-clock time APIs, global math/rand, and taint-laundering calls in internal/ packages",
 	Run:  runWallClock,
 }
 
@@ -36,6 +40,9 @@ func runWallClock(pass *Pass) {
 	}
 	for _, file := range pass.Files() {
 		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkLaunderedCall(pass, call)
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -58,7 +65,7 @@ func runWallClock(pass *Pass) {
 			name := sel.Sel.Name
 			switch pn.Imported().Path() {
 			case "time":
-				if name == "Now" || name == "Since" {
+				if wallTimeSources[name] || name == "Sleep" {
 					pass.Reportf(sel.Pos(), "time.%s in internal/ code: simulator time must be virtual cycles, not wall clock", name)
 				}
 			case "math/rand", "math/rand/v2":
@@ -68,5 +75,26 @@ func runWallClock(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkLaunderedCall flags calls from internal/ code to tainted
+// functions defined outside internal/ — the laundering path where a
+// cmd/-level helper wraps time.Now and hands the result in. Tainted
+// internal/ callees are skipped: their own bodies already carry the
+// direct finding.
+func checkLaunderedCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass, call)
+	if fn == nil || fn.Pkg() == nil || strings.Contains(fn.Pkg().Path(), "internal/") {
+		return
+	}
+	f, _ := pass.ObjectFact(fn, "taint").(*taintFact)
+	if f == nil {
+		return
+	}
+	if f.Wall {
+		pass.Reportf(call.Pos(), "call to %s.%s launders wall-clock time into internal/ code (result derives from %s)", fn.Pkg().Name(), fn.Name(), f.Via)
+	} else if f.Rand {
+		pass.Reportf(call.Pos(), "call to %s.%s launders global randomness into internal/ code (result derives from %s)", fn.Pkg().Name(), fn.Name(), f.Via)
 	}
 }

@@ -3,6 +3,8 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"tieredmem/internal/order"
 )
 
 func tiny(t *testing.T, pf *Prefetcher) *Hierarchy {
@@ -39,9 +41,9 @@ func TestConfigValidate(t *testing.T) {
 
 func TestHitLevelString(t *testing.T) {
 	names := map[HitLevel]string{HitL1: "L1", HitL2: "L2", HitLLC: "LLC", MissAll: "mem"}
-	for l, want := range names {
-		if l.String() != want {
-			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+	for _, l := range order.SortedKeys(names) {
+		if l.String() != names[l] {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), names[l])
 		}
 	}
 }

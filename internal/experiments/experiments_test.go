@@ -5,6 +5,7 @@ import (
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/ibs"
+	"tieredmem/internal/order"
 	"tieredmem/internal/policy"
 )
 
@@ -77,7 +78,8 @@ func TestFig6TMPBeatsSingleMethods(t *testing.T) {
 		}
 		byArm[k][pt.Method] = pt.Hitrate
 	}
-	for k, arms := range byArm {
+	for _, k := range order.SortedKeys(byArm) {
+		arms := byArm[k]
 		best := arms[core.MethodAbit]
 		if arms[core.MethodTrace] > best {
 			best = arms[core.MethodTrace]
@@ -220,9 +222,9 @@ func TestFig5HotRecallShapes(t *testing.T) {
 
 func TestRateName(t *testing.T) {
 	cases := map[int]string{1: "default", 4: "4x", 8: "8x", 16: "16x"}
-	for rate, want := range cases {
-		if got := RateName(rate); got != want {
-			t.Errorf("RateName(%d) = %q, want %q", rate, got, want)
+	for _, rate := range order.SortedKeys(cases) {
+		if got := RateName(rate); got != cases[rate] {
+			t.Errorf("RateName(%d) = %q, want %q", rate, got, cases[rate])
 		}
 	}
 }

@@ -5,9 +5,9 @@ import (
 	"sort"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
-	"tieredmem/internal/order"
 	"tieredmem/internal/report"
 	"tieredmem/internal/stats"
 )
@@ -46,18 +46,18 @@ func Fig5(s *Suite) ([]Fig5Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		abitCounts := make(map[core.PageKey]uint64)
+		abitCounts := newPageCounts(len(cp4.AbitEvents))
 		for i := range cp4.AbitEvents {
 			ev := &cp4.AbitEvents[i]
-			abitCounts[core.PageKey{PID: ev.PID, VPN: ev.VPN}]++
+			abitCounts.add(core.PageKey{PID: ev.PID, VPN: ev.VPN}, 1)
 		}
 
 		// Ground truth from the 4x run's epochs.
-		truth := make(map[core.PageKey]uint64)
+		truth := newPageCounts(0)
 		for _, ep := range cp4.Result.Epochs {
 			for _, ps := range ep.Pages {
 				if ps.True > 0 {
-					truth[ps.Key] += uint64(ps.True)
+					truth.add(ps.Key, uint64(ps.True))
 				}
 			}
 		}
@@ -73,10 +73,10 @@ func Fig5(s *Suite) ([]Fig5Series, error) {
 			if err != nil {
 				return nil, err
 			}
-			ibsCounts := make(map[core.PageKey]uint64)
+			ibsCounts := newPageCounts(len(cp.IBSSamples))
 			for i := range cp.IBSSamples {
 				smp := &cp.IBSSamples[i]
-				ibsCounts[core.PageKey{PID: smp.PID, VPN: mem.VPNOf(smp.VAddr)}]++
+				ibsCounts.add(core.PageKey{PID: smp.PID, VPN: mem.VPNOf(smp.VAddr)}, 1)
 			}
 			sr := seriesFromCounts(name, "ibs("+RateName(rate)+")", ibsCounts)
 			sr.HotRecall = recall(hotSet, topDecileK(ibsCounts, len(hotSet)))
@@ -90,33 +90,71 @@ func Fig5(s *Suite) ([]Fig5Series, error) {
 	return out, nil
 }
 
+// pageCounts accumulates per-page observation counts as a dense
+// column over pageidx interned ids — the densemap contract's
+// replacement for the map[core.PageKey]uint64 accumulators this file
+// used to rebuild per workload.
+type pageCounts struct {
+	tab    *pageidx.Table[core.PageKey]
+	counts []uint64
+}
+
+// newPageCounts returns an accumulator sized for about n events.
+func newPageCounts(n int) *pageCounts {
+	return &pageCounts{tab: pageidx.New(n, core.PageKeyHash)}
+}
+
+// add accumulates n observations of page k.
+func (pc *pageCounts) add(k core.PageKey, n uint64) {
+	id := pc.tab.Intern(k)
+	if int(id) == len(pc.counts) {
+		pc.counts = append(pc.counts, 0)
+	}
+	pc.counts[id] += n
+}
+
+// len returns the number of distinct pages observed.
+func (pc *pageCounts) len() int { return len(pc.counts) }
+
+// keysSorted returns the observed pages in canonical (PID, VPN) order.
+func (pc *pageCounts) keysSorted() []core.PageKey {
+	keys := make([]core.PageKey, pc.len())
+	for id := range keys {
+		keys[id] = pc.tab.Key(uint32(id))
+	}
+	sort.Slice(keys, func(i, j int) bool { return core.PageKeyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// get returns page k's count (0 when never observed).
+func (pc *pageCounts) get(k core.PageKey) uint64 {
+	if id, ok := pc.tab.Lookup(k); ok {
+		return pc.counts[id]
+	}
+	return 0
+}
+
 // topDecile returns the hottest 10% of pages (at least one) by count.
-func topDecile(counts map[core.PageKey]uint64) map[core.PageKey]struct{} {
-	return topDecileK(counts, len(counts)/10+1)
+func topDecile(counts *pageCounts) map[core.PageKey]struct{} {
+	return topDecileK(counts, counts.len()/10+1)
 }
 
 // topDecileK returns the k hottest pages by count (deterministic
-// tie-break by key).
-func topDecileK(counts map[core.PageKey]uint64, k int) map[core.PageKey]struct{} {
+// tie-break via core.RankLess's canonical (PID, VPN) order).
+func topDecileK(counts *pageCounts, k int) map[core.PageKey]struct{} {
 	type kv struct {
 		k core.PageKey
 		v uint64
 	}
-	all := make([]kv, 0, len(counts))
-	for key, v := range counts {
-		all = append(all, kv{key, v})
+	all := make([]kv, 0, counts.len())
+	for id, v := range counts.counts {
+		all = append(all, kv{counts.tab.Key(uint32(id)), v})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].v != all[j].v {
-			return all[i].v > all[j].v
-		}
-		if all[i].k.PID != all[j].k.PID {
-			return all[i].k.PID < all[j].k.PID
-		}
-		return all[i].k.VPN < all[j].k.VPN
+	all = core.TopKFunc(all, k, func(a, b kv) bool {
+		return core.RankLess(float64(a.v), float64(b.v), false, false, a.k, b.k)
 	})
-	out := make(map[core.PageKey]struct{}, k)
-	for i := 0; i < len(all) && i < k; i++ {
+	out := make(map[core.PageKey]struct{}, len(all))
+	for i := range all {
 		out[all[i].k] = struct{}{}
 	}
 	return out
@@ -136,12 +174,12 @@ func recall(actual, predicted map[core.PageKey]struct{}) float64 {
 	return float64(hit) / float64(len(actual))
 }
 
-func seriesFromCounts(workload, method string, counts map[core.PageKey]uint64) Fig5Series {
+func seriesFromCounts(workload, method string, counts *pageCounts) Fig5Series {
 	var cdf stats.CDF
-	samples := make([]uint64, 0, len(counts))
-	for _, key := range order.SortedKeysFunc(counts, core.PageKeyLess) {
-		cdf.Add(counts[key])
-		samples = append(samples, counts[key])
+	samples := make([]uint64, 0, counts.len())
+	for _, key := range counts.keysSorted() {
+		cdf.Add(counts.get(key))
+		samples = append(samples, counts.get(key))
 	}
 	return Fig5Series{
 		Workload: workload,

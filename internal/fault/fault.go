@@ -108,7 +108,7 @@ func (s Site) counterName() string {
 	case SiteSplitFail:
 		return "fault/mem_splitfail"
 	default:
-		return "fault/site?"
+		return "fault/unknown"
 	}
 }
 

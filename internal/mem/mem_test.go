@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"tieredmem/internal/fault"
+	"tieredmem/internal/order"
 )
 
 func TestAddressMath(t *testing.T) {
@@ -370,11 +371,9 @@ func TestAllocatorConservation(t *testing.T) {
 		live := map[PFN]bool{}
 		for _, op := range ops {
 			if op%3 == 0 && len(live) > 0 {
-				for pfn := range live {
-					pm.Free(pfn)
-					delete(live, pfn)
-					break
-				}
+				pfn := order.SortedKeys(live)[0]
+				pm.Free(pfn)
+				delete(live, pfn)
 				continue
 			}
 			pfn, err := pm.Alloc(FastTier, 1, VPN(op))

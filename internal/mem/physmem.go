@@ -16,6 +16,9 @@ var ErrOutOfMemory = errors.New("mem: out of physical memory")
 // contiguous, aligned run of free frames (the THP fallback condition).
 var ErrNoContiguous = errors.New("mem: no contiguous frame run for huge page")
 
+// ErrNoTiers rejects a PhysMem configured with zero tiers.
+var ErrNoTiers = errors.New("mem: at least one tier required")
+
 // Typed sentinel errors for the migration paths: callers branch with
 // errors.Is to decide whether a failure is transient (worth a deferred
 // retry) or permanent (drop the migration). Every error carries
@@ -130,7 +133,7 @@ func (pm *PhysMem) SetTracer(t *telemetry.Tracer) {
 // DRAM in the physical map.
 func NewPhysMem(specs []TierSpec) (*PhysMem, error) {
 	if len(specs) == 0 {
-		return nil, errors.New("mem: at least one tier required")
+		return nil, ErrNoTiers
 	}
 	total := 0
 	for _, s := range specs {

@@ -6,6 +6,7 @@ import (
 	"tieredmem/internal/cache"
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 	"tieredmem/internal/tlb"
 	"tieredmem/internal/trace"
 )
@@ -74,9 +75,9 @@ func TestTiersLayout(t *testing.T) {
 func TestSocketOf(t *testing.T) {
 	topo := Topology{Sockets: 2, CoresPerSocket: 3}
 	cases := map[int]int{0: 0, 2: 0, 3: 1, 5: 1, 99: 1}
-	for core, want := range cases {
-		if got := topo.SocketOf(core); got != want {
-			t.Errorf("SocketOf(%d) = %d, want %d", core, got, want)
+	for _, core := range order.SortedKeys(cases) {
+		if got := topo.SocketOf(core); got != cases[core] {
+			t.Errorf("SocketOf(%d) = %d, want %d", core, got, cases[core])
 		}
 	}
 }

@@ -17,7 +17,7 @@ import (
 // is freshly allocated; an empty or nil map yields an empty slice.
 func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
 	keys := make([]K, 0, len(m))
-	for k := range m { //tmplint:ordered key collection is sorted below
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
@@ -30,7 +30,7 @@ func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
 // not fully deterministic.
 func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
 	keys := make([]K, 0, len(m))
-	for k := range m { //tmplint:ordered key collection is sorted below
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })

@@ -6,6 +6,7 @@ import (
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 )
 
 // agreementStats builds a tie-heavy harvest with every page in the
@@ -27,7 +28,7 @@ func agreementStats(n int) core.EpochStats {
 
 func selectionKeys(sel Selection) map[core.PageKey]bool {
 	out := make(map[core.PageKey]bool, len(sel))
-	for k := range sel { //tmplint:ordered set-to-set comparison is order-free
+	for k := range sel {
 		out[k] = true
 	}
 	return out
@@ -67,7 +68,7 @@ func TestSelectorsAgreeOnSharedComparator(t *testing.T) {
 						p.Name(), method, capacity, len(got), len(want))
 					continue
 				}
-				for k := range want {
+				for _, k := range order.SortedKeysFunc(want, core.PageKeyLess) {
 					if !got[k] {
 						t.Errorf("%s method=%v capacity=%d: page %v missing from selection",
 							p.Name(), method, capacity, k)

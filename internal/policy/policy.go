@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
 )
 
 // Selection is the set of pages a policy placed in tier 1 for an
@@ -121,11 +122,19 @@ func (f *FirstTouch) Select(prev, next core.EpochStats, method core.Method, capa
 // DESIGN.md as an ablation): it ranks pages by an exponentially
 // weighted moving average of their per-epoch rank, smoothing the
 // reactive History policy against Monte-Carlo access noise.
+//
+// Per-page state is a dense score column over pageidx interned ids
+// (the densemap contract): a zero score is indistinguishable from an
+// untracked page, exactly as a missing map key was, so dropping a page
+// is writing 0 and the column never needs compaction.
 type Decay struct {
 	// Alpha in (0,1]: weight of the newest epoch. Alpha=1 degrades
 	// to History.
 	Alpha  float64
-	scores map[core.PageKey]float64
+	tab    *pageidx.Table[core.PageKey]
+	scores []float64
+	seen   []uint32 // epoch stamp: seen[id] == epoch means present this epoch
+	epoch  uint32
 }
 
 // NewDecay builds the EWMA policy.
@@ -133,39 +142,50 @@ func NewDecay(alpha float64) *Decay {
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.5
 	}
-	return &Decay{Alpha: alpha, scores: make(map[core.PageKey]float64)}
+	return &Decay{Alpha: alpha, tab: pageidx.New(0, core.PageKeyHash)}
 }
 
 // Name implements Policy.
 func (d *Decay) Name() string { return fmt.Sprintf("decay(%.2f)", d.Alpha) }
 
+// intern returns the page's dense id, growing the columns with it.
+func (d *Decay) intern(k core.PageKey) uint32 {
+	id := d.tab.Intern(k)
+	for int(id) >= len(d.scores) {
+		d.scores = append(d.scores, 0)
+		d.seen = append(d.seen, 0)
+	}
+	return id
+}
+
 // Select implements Policy.
 func (d *Decay) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
-	seen := make(map[core.PageKey]struct{}, len(prev.Pages))
+	d.epoch++
 	for _, ps := range prev.Pages {
-		seen[ps.Key] = struct{}{}
-		d.scores[ps.Key] = d.scores[ps.Key]*(1-d.Alpha) + float64(ps.Rank(method))*d.Alpha
+		id := d.intern(ps.Key)
+		d.seen[id] = d.epoch
+		d.scores[id] = d.scores[id]*(1-d.Alpha) + float64(ps.Rank(method))*d.Alpha
 	}
-	//tmplint:ordered per-key decay/delete is independent of visit order
-	for k, v := range d.scores {
-		if _, ok := seen[k]; !ok {
-			v *= 1 - d.Alpha
-			if v < 1e-6 {
-				delete(d.scores, k)
-			} else {
-				d.scores[k] = v
-			}
+	// Pages absent this epoch decay toward zero; below the floor the
+	// score snaps to 0, which is the untracked state.
+	for id := range d.scores {
+		if d.seen[id] == d.epoch {
+			continue
 		}
+		v := d.scores[id] * (1 - d.Alpha)
+		if v < 1e-6 {
+			v = 0
+		}
+		d.scores[id] = v
 	}
 	type kv struct {
 		k core.PageKey
 		v float64
 	}
 	ranked := make([]kv, 0, len(d.scores))
-	//tmplint:ordered TopKFunc's total-order comparator canonicalizes the result
-	for k, v := range d.scores {
-		if v > 0 {
-			ranked = append(ranked, kv{k, v})
+	for id := range d.scores {
+		if v := d.scores[id]; v > 0 {
+			ranked = append(ranked, kv{d.tab.Key(uint32(id)), v})
 		}
 	}
 	ranked = core.TopKFunc(ranked, capacity, func(a, b kv) bool {

@@ -1,10 +1,12 @@
 package policy
 
 import (
+	"sort"
 	"testing"
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 )
 
 // mkEpoch builds an epoch where page i (PID 1, VPN i) has the given
@@ -28,6 +30,7 @@ func keys(sel Selection) []uint64 {
 	for k := range sel {
 		out = append(out, uint64(k.VPN))
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -129,7 +132,7 @@ func TestDecayAlphaOneBehavesLikeHistory(t *testing.T) {
 	if len(sel) != len(hist) {
 		t.Fatalf("sizes differ")
 	}
-	for k := range hist {
+	for _, k := range order.SortedKeysFunc(hist, core.PageKeyLess) {
 		if _, ok := sel[k]; !ok {
 			t.Errorf("alpha=1 decay diverges from history at %v", k)
 		}
@@ -215,7 +218,7 @@ func TestPredictorForgetsDeadPages(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		p.Select(empty, core.EpochStats{}, core.MethodCombined, 1)
 	}
-	if len(p.state) != 0 {
+	if p.Tracked() != 0 {
 		t.Errorf("dead page still tracked: %v", p)
 	}
 }

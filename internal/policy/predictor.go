@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
 )
 
 // Predictor is a Kleio-inspired extension policy ([38] in the paper:
@@ -17,10 +18,19 @@ import (
 // a single spike cannot buy a migration (the same instinct as the
 // paper's observation that "the hottest pages should be migrated" to
 // justify the cost).
+//
+// Per-page model state is a dense predState column over pageidx
+// interned ids (the densemap contract), with a live flag standing in
+// for map membership: dropping a page clears the flag, and a page
+// re-entering the working set reinitializes the same slot.
 type Predictor struct {
 	// MaxConfidence bounds the trust counter (default 8).
 	MaxConfidence int
-	state         map[core.PageKey]*predState
+	tab           *pageidx.Table[core.PageKey]
+	states        []predState
+	live          []bool
+	seen          []uint32 // epoch stamp: seen[id] == epoch means present this epoch
+	epoch         uint32
 }
 
 type predState struct {
@@ -31,11 +41,22 @@ type predState struct {
 
 // NewPredictor builds the policy.
 func NewPredictor() *Predictor {
-	return &Predictor{MaxConfidence: 8, state: make(map[core.PageKey]*predState)}
+	return &Predictor{MaxConfidence: 8, tab: pageidx.New(0, core.PageKeyHash)}
 }
 
 // Name implements Policy.
 func (p *Predictor) Name() string { return "predictor" }
+
+// intern returns the page's dense id, growing the columns with it.
+func (p *Predictor) intern(k core.PageKey) uint32 {
+	id := p.tab.Intern(k)
+	for int(id) >= len(p.states) {
+		p.states = append(p.states, predState{})
+		p.live = append(p.live, false)
+		p.seen = append(p.seen, 0)
+	}
+	return id
+}
 
 // Select implements Policy.
 func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capacity int) Selection {
@@ -43,13 +64,15 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 	if maxConf < 1 {
 		maxConf = 8
 	}
-	seen := make(map[core.PageKey]struct{}, len(prev.Pages))
+	p.epoch++
 	for _, ps := range prev.Pages {
 		r := float64(ps.Rank(method))
-		seen[ps.Key] = struct{}{}
-		st, ok := p.state[ps.Key]
-		if !ok {
-			p.state[ps.Key] = &predState{longTerm: r, shortTerm: r, confidence: 1}
+		id := p.intern(ps.Key)
+		p.seen[id] = p.epoch
+		st := &p.states[id]
+		if !p.live[id] {
+			*st = predState{longTerm: r, shortTerm: r, confidence: 1}
+			p.live[id] = true
 			continue
 		}
 		// Was the long-term model a good predictor of this epoch?
@@ -67,19 +90,20 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 		st.longTerm = st.longTerm*0.75 + r*0.25
 		st.shortTerm = r
 	}
-	// Pages absent this epoch decay and lose trust.
-	//tmplint:ordered per-key decay/delete is independent of visit order
-	for key, st := range p.state {
-		if _, ok := seen[key]; ok {
+	// Pages absent this epoch decay and lose trust; a fully cooled
+	// page frees its slot for reinitialization on return.
+	for id := range p.states {
+		if !p.live[id] || p.seen[id] == p.epoch {
 			continue
 		}
+		st := &p.states[id]
 		st.longTerm *= 0.75
 		st.shortTerm = 0
 		if st.confidence > 0 {
 			st.confidence--
 		}
 		if st.longTerm < 0.01 && st.confidence == 0 {
-			delete(p.state, key)
+			p.live[id] = false
 		}
 	}
 
@@ -87,16 +111,19 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 		key   core.PageKey
 		score float64
 	}
-	ranked := make([]scored, 0, len(p.state))
-	//tmplint:ordered TopKFunc's total-order comparator canonicalizes the result
-	for key, st := range p.state {
+	ranked := make([]scored, 0, len(p.states))
+	for id := range p.states {
+		if !p.live[id] {
+			continue
+		}
+		st := &p.states[id]
 		w := float64(st.confidence) / float64(maxConf)
 		// Low-confidence observations are discounted: an erratic
 		// page's latest spike contributes a quarter of its face
 		// value, so only sustained heat accumulates a winning score.
 		score := w*st.longTerm + (1-w)*0.25*st.shortTerm
 		if score > 0 {
-			ranked = append(ranked, scored{key, score})
+			ranked = append(ranked, scored{p.tab.Key(uint32(id)), score})
 		}
 	}
 	ranked = core.TopKFunc(ranked, capacity, func(a, b scored) bool {
@@ -109,7 +136,19 @@ func (p *Predictor) Select(prev, next core.EpochStats, method core.Method, capac
 	return sel
 }
 
+// Tracked returns the number of pages the model currently holds live
+// state for (interned slots whose page has fully cooled do not count).
+func (p *Predictor) Tracked() int {
+	n := 0
+	for _, ok := range p.live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
 // String aids debugging.
 func (p *Predictor) String() string {
-	return fmt.Sprintf("predictor(%d pages tracked)", len(p.state))
+	return fmt.Sprintf("predictor(%d pages tracked)", p.Tracked())
 }

@@ -1,8 +1,6 @@
 package runner
 
 import (
-	"fmt"
-
 	"tieredmem/internal/telemetry"
 )
 
@@ -13,21 +11,21 @@ import (
 // the caller keeps SEPARATE from any virtual-time tracer: merging them
 // into the deterministic event stream would break the parallel
 // byte-identity contract. cmd/tmpbench surfaces this registry behind
-// -metrics.
+// -metrics. Names route through telemetry.Name so a run or job name
+// with out-of-alphabet bytes still yields a greppable
+// <subsystem>/<metric> counter name.
 func RecordStats(reg *telemetry.Registry, name string, s Stats) {
 	if reg == nil {
 		return
 	}
-	prefix := "runner/" + name
-	reg.Counter(prefix + "/jobs").Set(uint64(s.Jobs))
-	reg.Counter(prefix + "/workers").Set(uint64(s.Workers))
-	reg.Counter(prefix + "/wall_ns").Set(uint64(s.WallNS))
-	reg.Counter(prefix + "/busy_ns").Set(uint64(s.BusyNS))
-	reg.Counter(prefix + "/queue_ns").Set(uint64(s.QueueNS))
+	reg.Counter(telemetry.Name("runner", name, "jobs")).Set(uint64(s.Jobs))
+	reg.Counter(telemetry.Name("runner", name, "workers")).Set(uint64(s.Workers))
+	reg.Counter(telemetry.Name("runner", name, "wall_ns")).Set(uint64(s.WallNS))
+	reg.Counter(telemetry.Name("runner", name, "busy_ns")).Set(uint64(s.BusyNS))
+	reg.Counter(telemetry.Name("runner", name, "queue_ns")).Set(uint64(s.QueueNS))
 	for i := range s.PerJob {
 		js := &s.PerJob[i]
-		jp := fmt.Sprintf("%s/job/%s", prefix, js.Name)
-		reg.Counter(jp + "/wall_ns").Set(uint64(js.WallNS))
-		reg.Counter(jp + "/queue_ns").Set(uint64(js.QueueNS))
+		reg.Counter(telemetry.Name("runner", name, "job", js.Name, "wall_ns")).Set(uint64(js.WallNS))
+		reg.Counter(telemetry.Name("runner", name, "job", js.Name, "queue_ns")).Set(uint64(js.QueueNS))
 	}
 }

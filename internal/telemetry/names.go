@@ -1,0 +1,34 @@
+package telemetry
+
+import "strings"
+
+// Name builds a counter name from dynamic parts, sanitizing each part
+// into the counter alphabet (lowercase [a-z0-9_]) and joining with
+// "/". It is the one sanctioned way to register a counter whose name
+// depends on runtime data (a run name, a job name): the ctrname
+// analyzer rejects any other non-constant registration, so every name
+// in a registry is guaranteed `<subsystem>/<metric>`-shaped and
+// greppable. Uppercase letters are lowered; every other out-of-
+// alphabet byte becomes "_"; an empty part becomes "_".
+func Name(parts ...string) string {
+	clean := make([]string, len(parts))
+	for i, p := range parts {
+		var b strings.Builder
+		b.Grow(len(p))
+		for _, r := range p {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+				b.WriteRune(r)
+			case r >= 'A' && r <= 'Z':
+				b.WriteRune(r - 'A' + 'a')
+			default:
+				b.WriteByte('_')
+			}
+		}
+		if b.Len() == 0 {
+			b.WriteByte('_')
+		}
+		clean[i] = b.String()
+	}
+	return strings.Join(clean, "/")
+}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tieredmem/internal/order"
 )
 
 func TestKindString(t *testing.T) {
@@ -15,9 +17,9 @@ func TestKindString(t *testing.T) {
 		PrefetchFill: "prefetch",
 		Kind(9):      "kind(9)",
 	}
-	for k, want := range cases {
-		if got := k.String(); got != want {
-			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+	for _, k := range order.SortedKeys(cases) {
+		if got := k.String(); got != cases[k] {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, cases[k])
 		}
 	}
 }
@@ -31,9 +33,9 @@ func TestDataSourceString(t *testing.T) {
 		SrcTier2:       "tier2",
 		DataSource(99): "src(99)",
 	}
-	for s, want := range cases {
-		if got := s.String(); got != want {
-			t.Errorf("DataSource(%d).String() = %q, want %q", s, got, want)
+	for _, s := range order.SortedKeys(cases) {
+		if got := s.String(); got != cases[s] {
+			t.Errorf("DataSource(%d).String() = %q, want %q", s, got, cases[s])
 		}
 	}
 }

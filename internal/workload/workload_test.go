@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tieredmem/internal/mem"
+	"tieredmem/internal/order"
 	"tieredmem/internal/trace"
 )
 
@@ -370,8 +371,8 @@ func TestIdlersGoQuietAfterInit(t *testing.T) {
 		}
 		perPID[r.PID][r.VAddr] = true
 	}
-	for pid, addrs := range perPID {
-		if len(addrs) != 1 {
+	for _, pid := range order.SortedKeys(perPID) {
+		if addrs := perPID[pid]; len(addrs) != 1 {
 			t.Errorf("idler %d touches %d addresses when idle, want 1", pid, len(addrs))
 		}
 	}

@@ -19,8 +19,11 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "==> tmplint ./..."
-go run ./cmd/tmplint ./...
+echo "==> tmplint -tests ./..."
+# -tests loads each package's _test.go files too, so the test-aware
+# analyzers (maprange, goroutine) police test code as well: a map-order
+# dependent assertion in a test is exactly as flaky as one in the tree.
+go run ./cmd/tmplint -tests ./...
 
 echo "==> go test -race -shuffle=on ./..."
 # The race detector slows the simulator-heavy packages ~10x, but the

@@ -1,0 +1,34 @@
+// Package ext stands in for helper code outside internal/ — cmd/
+// flag plumbing, scripts — where wall-clock reads and global rand are
+// legal. The taint fixture imports it to prove the engine's facts
+// travel: findings appear in the importing internal/ package, at the
+// call sites that launder these results in.
+package ext
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp derives directly from the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Indirect derives from the wall clock two hops away, through Stamp
+// and a local variable.
+func Indirect() int64 {
+	v := Stamp()
+	return v + 1
+}
+
+// Roll draws from the process-global rand source.
+func Roll() int64 {
+	return rand.Int63()
+}
+
+// Pure is untainted: no fact is exported for it, and feeding it into
+// telemetry or fault calls is clean.
+func Pure(x int64) int64 {
+	return x + 1
+}
