@@ -12,6 +12,7 @@
 //	methods.txt   Table I quantified: TMP vs AutoNUMA vs BadgerTrap
 //	colocation.txt  process-filter study under consolidation
 //	epochsweep.txt  epoch-length sweep (the paper's 1 s choice)
+//	multitier.txt   evidence mechanisms across 2-/3-/4-tier chains
 //
 // Usage:
 //
@@ -44,7 +45,7 @@ import (
 func main() {
 	var (
 		out       = flag.String("out", "results", "output directory")
-		exp       = flag.String("exp", "all", "experiment: all, fig2, table4, fig3, fig4, fig5, fig6, overhead, speedup, methods, colocation, epochsweep")
+		exp       = flag.String("exp", "all", "experiment: all, fig2, table4, fig3, fig4, fig5, fig6, overhead, speedup, methods, colocation, epochsweep, multitier")
 		refs      = flag.Int("refs", 8_000_000, "references per profiling run")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		scale     = flag.Int("scale", 0, "footprint scale shift")
@@ -144,8 +145,9 @@ func main() {
 		"methods":    func() error { return runMethods(opts, *out) },
 		"colocation": func() error { return runColocation(opts, *out) },
 		"epochsweep": func() error { return runEpochSweep(suite, *out) },
+		"multitier":  func() error { return runMultiTier(opts, *out) },
 	}
-	order := []string{"fig2", "table4", "fig3", "fig4", "fig5", "fig6", "overhead", "speedup", "methods", "colocation", "epochsweep"}
+	order := []string{"fig2", "table4", "fig3", "fig4", "fig5", "fig6", "overhead", "speedup", "methods", "colocation", "epochsweep", "multitier"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -358,6 +360,14 @@ func runColocation(opts experiments.Options, out string) error {
 		return err
 	}
 	return writeFile(out, "colocation.txt", experiments.RenderColocation(res))
+}
+
+func runMultiTier(opts experiments.Options, out string) error {
+	rows, err := experiments.MultiTier(opts)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "multitier.txt", experiments.RenderMultiTier(rows))
 }
 
 func runEpochSweep(s *experiments.Suite, out string) error {

@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"tieredmem/internal/core"
 	"tieredmem/internal/emul"
 	"tieredmem/internal/fault"
+	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
 	"tieredmem/internal/report"
 	"tieredmem/internal/runner"
@@ -40,7 +42,8 @@ func main() {
 		refs     = flag.Int("refs", 6_000_000, "memory references to execute")
 		ratio    = flag.Int("ratio", 16, "footprint:fast-tier capacity ratio")
 		polName  = flag.String("policy", "history", "placement policy: history, decay, none (baseline only)")
-		method   = flag.String("method", "tmp", "profiling evidence: abit, ibs, tmp")
+		method   = flag.String("method", "tmp", "profiling evidence: abit, ibs, tmp, devprof (devprof needs a device tier)")
+		tiers    = flag.String("tiers", "", "tier chain: a depth (2-4, workload-sized) or an explicit spec like 'dram:1024/cxl:2048:140:180:dev/nvm:8192'; device tiers get the device-side tracker; empty keeps the legacy two-tier sizing from -ratio")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		scale    = flag.Int("scale", 0, "footprint scale shift")
 		period   = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
@@ -88,6 +91,24 @@ func main() {
 		return workload.MustNew(*name, workload.Config{Seed: *seed, ScaleShift: *scale, FirstPID: 100})
 	}
 
+	// -tiers accepts either a chain depth (sized for the workload the
+	// same way -ratio sizes the two-tier machine) or a full spec.
+	var chain mem.TierChain
+	if *tiers != "" {
+		var cerr error
+		if n, aerr := strconv.Atoi(*tiers); aerr == nil {
+			chain, cerr = sim.DefaultChain(mk(), *ratio, n)
+		} else {
+			chain, cerr = mem.ParseTierChain(*tiers)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+	}
+	if m == core.MethodDev && !chain.HasDevice() {
+		fatal(fmt.Errorf("method devprof needs a device tier (pass -tiers 3, -tiers 4, or a spec with a ':dev' tier)"))
+	}
+
 	var costs *emul.Costs
 	if *useEmul {
 		c := emul.PaperCosts(0)
@@ -119,6 +140,8 @@ func main() {
 		planes = append(planes, fp)
 		return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
 			cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
+			cfg.Tiers = chain
+			cfg.TMP.EnableDevProf = chain.HasDevice()
 			cfg.EmulCosts = costs
 			cfg.Tracer = tr
 			cfg.Faults = fp
@@ -139,6 +162,9 @@ func main() {
 	}
 
 	base := results[0]
+	if chain != nil {
+		fmt.Printf("tier chain: %s\n", chain)
+	}
 	fmt.Printf("baseline (first-touch): duration=%.2fms hitrate=%.3f mem_accesses=%d\n",
 		float64(base.DurationNS)/1e6, base.Hitrate(), base.MemAccesses)
 
@@ -206,8 +232,10 @@ func parseMethod(s string) (core.Method, error) {
 		return core.MethodTrace, nil
 	case "tmp", "combined":
 		return core.MethodCombined, nil
+	case "devprof", "dev":
+		return core.MethodDev, nil
 	default:
-		return 0, fmt.Errorf("unknown method %q (abit, ibs, tmp)", s)
+		return 0, fmt.Errorf("unknown method %q (abit, ibs, tmp, devprof)", s)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"tieredmem/internal/abit"
 	"tieredmem/internal/core/pageidx"
 	"tieredmem/internal/cpu"
+	"tieredmem/internal/devprof"
 	"tieredmem/internal/fault"
 	"tieredmem/internal/hwpc"
 	"tieredmem/internal/ibs"
@@ -36,10 +37,17 @@ const (
 	MethodAbit Method = iota
 	// MethodTrace ranks by IBS/PEBS samples alone.
 	MethodTrace
-	// MethodCombined is TMP's rank: the plain sum of both (§IV
-	// step 1 — Fig. 2 shows the event populations are the same order
-	// of magnitude, so neither source is drowned out).
+	// MethodCombined is TMP's rank: the plain sum of every evidence
+	// source (§IV step 1 — Fig. 2 shows the event populations are the
+	// same order of magnitude, so no source is drowned out). On
+	// machines with a device-profiled tier the sum includes the
+	// device-side counts; without one the device column is always zero
+	// and the rank is exactly the paper's two-source sum.
 	MethodCombined
+	// MethodDev ranks by device-side (CXL) tracker counts alone — the
+	// NeoMem arm. Only meaningful on machines with a device tier and a
+	// devprof tracker attached; elsewhere every page ranks zero.
+	MethodDev
 )
 
 // String names the method.
@@ -51,12 +59,17 @@ func (m Method) String() string {
 		return "ibs"
 	case MethodCombined:
 		return "tmp"
+	case MethodDev:
+		return "devprof"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
 }
 
-// Methods lists all ranking arms in presentation order.
+// Methods lists the paper's ranking arms in presentation order.
+// MethodDev is deliberately not here: it only produces evidence on
+// machines with a device tier, so the multi-tier experiment cells opt
+// into it explicitly instead of every harness iterating a dead arm.
 var Methods = []Method{MethodAbit, MethodTrace, MethodCombined}
 
 // PageKey identifies a logical page independent of its current frame,
@@ -115,6 +128,7 @@ type PageStat struct {
 	Abit  uint32 // A-bit observations this epoch
 	Trace uint32 // IBS/PEBS samples this epoch
 	Write uint32 // PML D-bit-set events this epoch (optional extension)
+	Dev   uint32 // device-side (CXL) tracker counts this epoch
 	True  uint32 // ground-truth memory accesses this epoch (simulator only)
 }
 
@@ -125,8 +139,10 @@ func (p *PageStat) Rank(m Method) uint64 {
 		return uint64(p.Abit)
 	case MethodTrace:
 		return uint64(p.Trace)
+	case MethodDev:
+		return uint64(p.Dev)
 	default:
-		return uint64(p.Abit) + uint64(p.Trace)
+		return uint64(p.Abit) + uint64(p.Trace) + uint64(p.Dev)
 	}
 }
 
@@ -159,6 +175,13 @@ type Config struct {
 	EnablePML bool
 	// PML configures the engine when EnablePML is set.
 	PML pml.Config
+	// EnableDevProf attaches the device-side (CXL) hot-page tracker
+	// so harvests also carry per-page device counts (the NeoMem arm;
+	// see the devprof package). Requires a machine with at least one
+	// device-profiled tier.
+	EnableDevProf bool
+	// DevProf configures the tracker when EnableDevProf is set.
+	DevProf devprof.Config
 	// QuarantineThreshold is the fault rate (failures over attempts)
 	// above which the profiler permanently disables a monitoring
 	// mechanism and degrades ranks to the survivors. 0 disables
@@ -186,6 +209,7 @@ func DefaultConfig(ibsPeriod int) Config {
 		FilterInterval:      1_000_000_000,
 		DaemonCore:          0,
 		PML:                 pml.DefaultConfig(),
+		DevProf:             devprof.DefaultConfig(),
 		QuarantineThreshold: 0.5,
 		QuarantineMinEvents: 200,
 		QuarantineMinRounds: 10,
@@ -202,6 +226,8 @@ type Profiler struct {
 	Monitor *hwpc.Monitor
 	// PML is non-nil when Config.EnablePML is set.
 	PML *pml.Engine
+	// DevProf is non-nil when Config.EnableDevProf is set.
+	DevProf *devprof.Tracker
 
 	usage      UsageFunc
 	registered []int // PIDs the daemon was told about
@@ -237,6 +263,9 @@ func (p *Profiler) SetTracer(t *telemetry.Tracer) {
 	p.IBS.SetTracer(t)
 	p.Abit.SetTracer(t)
 	p.Monitor.SetTracer(t)
+	if p.DevProf != nil {
+		p.DevProf.SetTracer(t)
+	}
 }
 
 // New wires a profiler into a machine. usage may be nil, in which case
@@ -282,9 +311,19 @@ func New(cfg Config, m *cpu.Machine, usage UsageFunc) (*Profiler, error) {
 		p.PML = pe
 		m.AddObserver(pe)
 	}
+	if cfg.EnableDevProf {
+		tk, err := devprof.New(cfg.DevProf, m.Phys)
+		if err != nil {
+			return nil, err
+		}
+		p.DevProf = tk
+		m.AddObserver(tk)
+	}
 	if cfg.Gating {
 		// Trace-based profiling follows LLC misses; A-bit profiling
-		// follows TLB misses (§III-A).
+		// follows TLB misses (§III-A). The device tracker is never
+		// gated: observation costs the host nothing, so there is
+		// nothing to save by turning it off.
 		mon.Gate(pmu.EvLLCMiss, eng)
 		mon.Gate(pmu.EvSTLBMiss, sc)
 	}
@@ -301,6 +340,9 @@ func (p *Profiler) SetFaultPlane(f *fault.Plane) {
 	p.IBS.SetFaultPlane(f)
 	p.Abit.SetFaultPlane(f)
 	p.Monitor.SetFaultPlane(f)
+	if p.DevProf != nil {
+		p.DevProf.SetFaultPlane(f)
+	}
 }
 
 // Register tells the daemon about a program's process (the user adds a
@@ -399,10 +441,16 @@ func (p *Profiler) HarvestEpochInto(dst *EpochStats) {
 	if p.PML != nil {
 		p.PML.Flush()
 	}
+	if p.DevProf != nil {
+		// A faulted flush (overflow/stale) degrades this epoch's device
+		// evidence; the tracker's stats carry the loss and quarantine
+		// judges it below, so the harvest itself needs no recovery.
+		p.DevProf.FlushAt(p.machine.Now()) //nolint:errcheck
+	}
 	dst.Epoch = p.epoch
 	dst.Pages = dst.Pages[:0]
 	p.machine.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
-		if pd.AbitEpoch == 0 && pd.TraceEpoch == 0 && pd.WriteEpoch == 0 && pd.TrueEpoch == 0 {
+		if pd.AbitEpoch == 0 && pd.TraceEpoch == 0 && pd.WriteEpoch == 0 && pd.DevEpoch == 0 && pd.TrueEpoch == 0 {
 			return
 		}
 		dst.Pages = append(dst.Pages, PageStat{
@@ -411,6 +459,7 @@ func (p *Profiler) HarvestEpochInto(dst *EpochStats) {
 			Abit:  pd.AbitEpoch,
 			Trace: pd.TraceEpoch,
 			Write: pd.WriteEpoch,
+			Dev:   pd.DevEpoch,
 			True:  pd.TrueEpoch,
 		})
 		// Folding the epoch counters into the totals here (rather
@@ -431,7 +480,7 @@ func (p *Profiler) HarvestEpochInto(dst *EpochStats) {
 // boundary and permanently disables any whose failures exceed the
 // threshold — the profiler would rather run on one clean evidence
 // source than blend in a corrupt one. Judged in a fixed order (ibs,
-// abit, hwpc) so a run's quarantine sequence is deterministic.
+// abit, hwpc, devprof) so a run's quarantine sequence is deterministic.
 func (p *Profiler) checkQuarantine(now int64) {
 	thr := p.cfg.QuarantineThreshold
 	if thr <= 0 {
@@ -455,14 +504,29 @@ func (p *Profiler) checkQuarantine(now int64) {
 			p.tel.EmitQuarantine(now, "hwpc", failures, attempts)
 		}
 	}
+	if p.DevProf != nil && !p.DevProf.Quarantined() {
+		// The device stream is sample-shaped like IBS (per-observation
+		// counts, not per-round scans), so it is judged against the
+		// event-population floor.
+		if lost, attempts := p.DevProf.Stats().FaultRate(); attempts >= p.cfg.QuarantineMinEvents && float64(lost) > thr*float64(attempts) {
+			p.DevProf.Quarantine()
+			p.tel.EmitQuarantine(now, "devprof", lost, attempts)
+		}
+	}
 }
 
 // EffectiveMethod degrades a requested ranking method to the surviving
 // evidence source when quarantine has removed one: tmp falls back to
 // the clean arm, and a single-arm method whose mechanism is gone falls
-// back to the other. With both sources quarantined there is nothing
-// better to offer and the request passes through unchanged.
+// back to the other. A devprof request on a machine whose tracker is
+// quarantined (or was never attached) degrades to the combined host
+// rank first, then through the host rules. With every source
+// quarantined there is nothing better to offer and the request passes
+// through unchanged.
 func (p *Profiler) EffectiveMethod(m Method) Method {
+	if m == MethodDev && (p.DevProf == nil || p.DevProf.Quarantined()) {
+		m = MethodCombined
+	}
 	ibsOut, abitOut := p.IBS.Quarantined(), p.Abit.Quarantined()
 	switch {
 	case ibsOut && abitOut:
@@ -476,7 +540,7 @@ func (p *Profiler) EffectiveMethod(m Method) Method {
 }
 
 // QuarantinedMechanisms lists the permanently disabled mechanisms in
-// fixed (ibs, abit, hwpc) order, for reports.
+// fixed (ibs, abit, hwpc, devprof) order, for reports.
 func (p *Profiler) QuarantinedMechanisms() []string {
 	var out []string
 	if p.IBS.Quarantined() {
@@ -487,6 +551,9 @@ func (p *Profiler) QuarantinedMechanisms() []string {
 	}
 	if p.Monitor.Quarantined() {
 		out = append(out, "hwpc")
+	}
+	if p.DevProf != nil && p.DevProf.Quarantined() {
+		out = append(out, "devprof")
 	}
 	return out
 }
@@ -607,6 +674,7 @@ func SumEpochs(epochs []EpochStats) EpochStats {
 			t.Abit += ps.Abit
 			t.Trace += ps.Trace
 			t.Write += ps.Write
+			t.Dev += ps.Dev
 			t.True += ps.True
 		}
 	}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/ibs"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/workload"
+)
+
+// MultiTierDepths lists the chain depths the multi-tier study sweeps:
+// the paper's two-tier testbed, a 3-tier DRAM/CXL/NVM chain, and a
+// 4-tier chain with an SSD-class backstop.
+var MultiTierDepths = []int{2, 3, 4}
+
+// multiTierArms lists the evidence arms for one chain depth, in
+// presentation order. The devprof arm needs a device tier to observe
+// (DefaultChain places a CXL expander under DRAM from 3 tiers up), so
+// 2-tier chains run only the host arms.
+func multiTierArms(n int) []core.Method {
+	if n == 2 {
+		return []core.Method{core.MethodAbit, core.MethodTrace, core.MethodCombined}
+	}
+	return []core.Method{core.MethodAbit, core.MethodTrace, core.MethodDev, core.MethodCombined}
+}
+
+// MultiTierRow is one (workload, chain, method) placement cell: a
+// History-policy run over an n-tier chain ranking on one evidence
+// mechanism, scored by top-tier hitrate.
+type MultiTierRow struct {
+	Workload string
+	Tiers    int
+	// Chain is the tier-name path, e.g. "dram/cxl/nvm".
+	Chain  string
+	Method string
+	// Hitrate is the live top-tier memory hitrate.
+	Hitrate    float64
+	Promotions uint64
+	Demotions  uint64
+	DurationNS int64
+	// Quarantined counts mechanisms the run permanently disabled
+	// (always zero without fault injection).
+	Quarantined int
+}
+
+// chainLabel names a chain by its tier path.
+func chainLabel(c mem.TierChain) string {
+	names := make([]string, len(c))
+	for i, s := range c {
+		names[i] = s.Name
+	}
+	return strings.Join(names, "/")
+}
+
+// multiTierCell runs one self-contained placement simulation over an
+// n-tier chain. The device-side tracker is attached exactly when the
+// chain has a device tier, so MethodCombined fuses host and device
+// evidence on the deep chains and degrades to the paper's two-source
+// sum on the 2-tier chain.
+func multiTierCell(opts Options, name string, n int, method core.Method) (MultiTierRow, error) {
+	const ratio = 16
+	w, err := workload.New(name, opts.workloadConfig())
+	if err != nil {
+		return MultiTierRow{}, err
+	}
+	chain, err := sim.DefaultChain(w, ratio, n)
+	if err != nil {
+		return MultiTierRow{}, err
+	}
+	period := ibs.PeriodForRate(opts.BasePeriod, ibs.Rate4x)
+	cfg := sim.DefaultPlacementConfig(w, period, opts.Refs, ratio, policy.History{}, method)
+	cfg.Tiers = chain
+	cfg.TMP.EnableDevProf = chain.HasDevice()
+	cfg.Faults = opts.faultPlane()
+	res, err := sim.RunPlacement(cfg, w)
+	if err != nil {
+		return MultiTierRow{}, err
+	}
+	return MultiTierRow{
+		Workload:    name,
+		Tiers:       n,
+		Chain:       chainLabel(chain),
+		Method:      method.String(),
+		Hitrate:     res.Hitrate(),
+		Promotions:  res.Promotions,
+		Demotions:   res.Demotions,
+		DurationNS:  res.DurationNS,
+		Quarantined: len(res.Quarantined),
+	}, nil
+}
+
+// MultiTier compares the profiling mechanisms — A-bit, IBS, the
+// device-side tracker, and the combined rank — as placement evidence
+// across 2-, 3-, and 4-tier chains. Every (workload, depth, method)
+// cell is an independent simulation and fans out on the runner pool;
+// rows come back in (workload, depth, method) presentation order at
+// any pool width.
+func MultiTier(opts Options) ([]MultiTierRow, error) {
+	var jobs []runner.Job[MultiTierRow]
+	for _, name := range opts.workloads() {
+		for _, n := range MultiTierDepths {
+			for _, method := range multiTierArms(n) {
+				jobs = append(jobs, runner.Job[MultiTierRow]{
+					Name: fmt.Sprintf("multitier/%s/%dt/%s", name, n, method),
+					Run: func() (MultiTierRow, error) {
+						r, err := multiTierCell(opts, name, n, method)
+						if err != nil {
+							return r, fmt.Errorf("experiments: %s %d-tier %s: %w", name, n, method, err)
+						}
+						return r, nil
+					},
+				})
+			}
+		}
+	}
+	return runCells(opts, "multitier", jobs)
+}
+
+// RenderMultiTier draws the study.
+func RenderMultiTier(rows []MultiTierRow) string {
+	t := report.NewTable(
+		"Multi-tier chains: top-tier hitrate per evidence mechanism (History policy, 1/16 top tier)",
+		"workload", "chain", "method", "hitrate", "promoted", "demoted", "quarantined")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Chain, r.Method, r.Hitrate, r.Promotions, r.Demotions, r.Quarantined)
+	}
+	return t.Render() + "\nThe devprof arm ranks on device-side (CXL) counters alone — zero host\nsampling cost but blind to DRAM- and NVM-resident pages; the tmp arm fuses\nthem with host evidence. 2-tier chains have no device tier to observe.\n"
+}

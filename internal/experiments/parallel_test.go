@@ -114,6 +114,29 @@ func TestParallelEqualsSequentialFaulted(t *testing.T) {
 	}
 }
 
+// TestParallelEqualsSequentialMultiTier extends width equivalence to
+// the multi-tier cells: chains of different depths (with the device
+// tracker attached on the deep ones) are scheduled arbitrarily across
+// workers, yet rows land in (workload, depth, method) order with
+// identical bytes.
+func TestParallelEqualsSequentialMultiTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement runs are slow")
+	}
+	render := func(parallel int) string {
+		rows, err := MultiTier(parallelTestOptions(parallel, "gups"))
+		if err != nil {
+			t.Fatalf("MultiTier(parallel=%d): %v", parallel, err)
+		}
+		return RenderMultiTier(rows)
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("multitier output differs between -parallel 1 and -parallel 8:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
 // TestRunnerStatsSurface checks the observability hook: an experiment
 // run with an injected clock reports one stat entry per cell with
 // nonzero wall times, and the pool width honors Options.Parallel.

@@ -150,6 +150,17 @@ func TestGoldenRenderFig6(t *testing.T) {
 	checkGolden(t, "fig6_render", RenderFig6(res))
 }
 
+func TestGoldenRenderMultiTier(t *testing.T) {
+	rows := []MultiTierRow{
+		{Workload: "gups", Tiers: 2, Chain: "dram/nvm", Method: "abit", Hitrate: 0.61, Promotions: 1200, Demotions: 1100, DurationNS: 1_000_000},
+		{Workload: "gups", Tiers: 2, Chain: "dram/nvm", Method: "tmp", Hitrate: 0.72, Promotions: 1350, Demotions: 1300, DurationNS: 970_000},
+		{Workload: "gups", Tiers: 3, Chain: "dram/cxl/nvm", Method: "devprof", Hitrate: 0.58, Promotions: 900, Demotions: 850, DurationNS: 1_040_000},
+		{Workload: "gups", Tiers: 3, Chain: "dram/cxl/nvm", Method: "tmp", Hitrate: 0.71, Promotions: 1500, Demotions: 1400, DurationNS: 985_000, Quarantined: 1},
+		{Workload: "gups", Tiers: 4, Chain: "dram/cxl/nvm/ssd", Method: "tmp", Hitrate: 0.69, Promotions: 1480, Demotions: 1420, DurationNS: 990_000},
+	}
+	checkGolden(t, "multitier_render", RenderMultiTier(rows))
+}
+
 func TestGoldenRenderColocation(t *testing.T) {
 	res := ColocationResult{
 		IdlerCount:     16,

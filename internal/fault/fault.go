@@ -64,6 +64,14 @@ const (
 	SitePinned
 	// SiteSplitFail fails one THP split during migration.
 	SiteSplitFail
+	// SiteDevOverflow overflows the device tracker's bounded counter
+	// table during a flush: the staged batch of device observations is
+	// lost (the NeoMem hot-page queue wrapped before the host read it).
+	SiteDevOverflow
+	// SiteDevStale makes one device-tracker flush return stale data:
+	// nothing is delivered this epoch and the counts carry over (the
+	// host read raced the device's internal aggregation window).
+	SiteDevStale
 
 	numSites
 )
@@ -85,6 +93,10 @@ func (s Site) String() string {
 		return "mem.pinned"
 	case SiteSplitFail:
 		return "mem.splitfail"
+	case SiteDevOverflow:
+		return "devprof.overflow"
+	case SiteDevStale:
+		return "devprof.stale"
 	default:
 		return "site?"
 	}
@@ -107,6 +119,10 @@ func (s Site) counterName() string {
 		return "fault/mem_pinned"
 	case SiteSplitFail:
 		return "fault/mem_splitfail"
+	case SiteDevOverflow:
+		return "fault/devprof_overflow"
+	case SiteDevStale:
+		return "fault/devprof_stale"
 	default:
 		return "fault/unknown"
 	}
@@ -377,3 +393,13 @@ func (p *Plane) PinPage() bool { return p.decide(SitePinned) }
 // FailSplit reports whether a THP split fails (consulted by
 // policy.Mover before splitting a huge mapping).
 func (p *Plane) FailSplit() bool { return p.decide(SiteSplitFail) }
+
+// OverflowDevCounters reports whether the device tracker's bounded
+// counter table overflowed before this flush, losing the staged batch
+// (consulted by devprof.Tracker per flush with staged observations).
+func (p *Plane) OverflowDevCounters() bool { return p.decide(SiteDevOverflow) }
+
+// StaleDevFlush reports whether this device-tracker flush reads stale
+// data — nothing delivered, counts carried to the next flush
+// (consulted by devprof.Tracker per flush with staged observations).
+func (p *Plane) StaleDevFlush() bool { return p.decide(SiteDevStale) }

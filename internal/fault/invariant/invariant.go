@@ -48,9 +48,9 @@ func New() *Checker { return &Checker{} }
 // Violation is one broken invariant; Error joins all of them, so a
 // single failed epoch reports every law it broke at once.
 type Violation struct {
-	// Rule names the invariant ("tier-conservation", "duplicate-frame",
-	// "dangling-mapping", "descriptor-mismatch", "leaked-frame",
-	// "mover-accounting").
+	// Rule names the invariant ("tier-conservation", "tier-mismatch",
+	// "duplicate-frame", "dangling-mapping", "descriptor-mismatch",
+	// "leaked-frame", "mover-accounting").
 	Rule string
 	// Detail locates the breakage.
 	Detail string
@@ -106,7 +106,21 @@ func (c *Checker) Check(phys *mem.PhysMem, tables map[int]*pagetable.Table, mv *
 		}
 	}
 
-	// 2. Mapping -> frame: every present leaf resolves to allocated
+	// 2. Tier identity: every allocated descriptor's Tier field agrees
+	// with its frame's position in the chain's PFN carving. A mover
+	// bug that moved counters without moving the frame (or vice versa)
+	// breaks this before it breaks per-tier totals — each tier's
+	// used+free can balance while two descriptors sit in each other's
+	// tiers.
+	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
+		lo, hi := phys.TierRange(pd.Tier)
+		if pd.Frame < lo || pd.Frame >= hi {
+			add("tier-mismatch", "PFN %d (pid %d vpn %#x) claims tier %d which spans [%d, %d)",
+				pd.Frame, pd.PID, uint64(pd.VPage), pd.Tier, lo, hi)
+		}
+	})
+
+	// 3. Mapping -> frame: every present leaf resolves to allocated
 	// frames whose descriptors point back, and no frame is mapped
 	// twice (by one table or across tables).
 	pids := make([]int, 0, len(tables))
@@ -157,7 +171,7 @@ func (c *Checker) Check(phys *mem.PhysMem, tables map[int]*pagetable.Table, mv *
 		})
 	}
 
-	// 3. Frame -> mapping: an allocated frame no mapping claimed this
+	// 4. Frame -> mapping: an allocated frame no mapping claimed this
 	// pass leaked (lost page). Counting both directions plus the
 	// duplicate check above makes mapping <-> allocated-frame a
 	// bijection.
@@ -170,7 +184,7 @@ func (c *Checker) Check(phys *mem.PhysMem, tables map[int]*pagetable.Table, mv *
 		})
 	}
 
-	// 4. Mover accounting: the per-reason counters partition the
+	// 5. Mover accounting: the per-reason counters partition the
 	// aggregate, retry outcomes never exceed attempts, and the queue
 	// respects its bound.
 	if mv != nil {

@@ -97,6 +97,38 @@ func TestCheckCatchesDuplicateFrame(t *testing.T) {
 	wantViolation(t, New().Check(phys, tables, nil), "duplicate-frame")
 }
 
+func TestCheckCatchesTierMismatch(t *testing.T) {
+	phys, tables := buildMapped(t, 16)
+	pfn, _ := tables[100].Frame(6)
+	pd := phys.Page(pfn)
+	pd.Tier = pd.Tier ^ 1 // counters moved, frame did not
+	// The per-tier used/free counters still balance — only the
+	// identity rule can see this.
+	wantViolation(t, New().Check(phys, tables, nil), "tier-mismatch")
+}
+
+func TestCheckCleanThreeTierChain(t *testing.T) {
+	chain, err := mem.ParseTierChain("dram:8/cxl:8/nvm:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := mem.NewPhysMem(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := pagetable.New(9)
+	for i := 0; i < 12; i++ {
+		pfn, err := phys.AllocIn(mem.TierID(i%3), 9, mem.VPN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		table.Map(mem.VPN(i), pfn, true)
+	}
+	if err := New().Check(phys, map[int]*pagetable.Table{9: table}, nil); err != nil {
+		t.Fatalf("clean 3-tier state violates invariants: %v", err)
+	}
+}
+
 func TestCheckCatchesDescriptorMismatch(t *testing.T) {
 	phys, tables := buildMapped(t, 16)
 	pfn, _ := tables[100].Frame(5)

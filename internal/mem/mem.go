@@ -91,6 +91,14 @@ type PageDescriptor struct {
 	WriteTotal uint64
 	WriteEpoch uint32
 
+	// Device-side profiling state: accesses observed by a CXL-resident
+	// hot-page tracker (the NeoMem model — counters live on the device
+	// and see physical traffic with zero host sampling cost). Always
+	// zero on frames outside device tiers and in runs without a
+	// devprof tracker.
+	DevTotal uint64
+	DevEpoch uint32
+
 	// Ground truth maintained by the simulator itself (invisible to
 	// any profiling method): demand accesses served from memory, the
 	// quantity the paper's Fig. 6 hitrate and Oracle policy are
@@ -111,10 +119,12 @@ func (pd *PageDescriptor) ResetEpoch() {
 	pd.AbitTotal += uint64(pd.AbitEpoch)
 	pd.TraceTotal += uint64(pd.TraceEpoch)
 	pd.WriteTotal += uint64(pd.WriteEpoch)
+	pd.DevTotal += uint64(pd.DevEpoch)
 	pd.TrueTotal += uint64(pd.TrueEpoch)
 	pd.AbitEpoch = 0
 	pd.TraceEpoch = 0
 	pd.WriteEpoch = 0
+	pd.DevEpoch = 0
 	pd.TrueEpoch = 0
 }
 

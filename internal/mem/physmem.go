@@ -46,6 +46,10 @@ type TierSpec struct {
 	Frames       int   // capacity in 4 KiB frames
 	ReadLatency  int64 // ns for a 64 B line read served by this tier
 	WriteLatency int64 // ns for a 64 B line write
+	// Device marks a tier backed by a self-profiling device (CXL
+	// memory expander with NeoMem-style hot-page counters): a devprof
+	// tracker can observe physical accesses landing in this tier.
+	Device bool
 }
 
 // Validate reports configuration errors.
@@ -188,6 +192,14 @@ func (pm *PhysMem) TierOf(pfn PFN) TierID {
 	return pm.pds[pfn].Tier
 }
 
+// TierRange returns the half-open PFN range [lo, hi) a tier owns in
+// the machine's contiguous frame space. Invariant checkers use it to
+// assert a descriptor's Tier field agrees with the frame's position.
+func (pm *PhysMem) TierRange(t TierID) (lo, hi PFN) {
+	ts := &pm.tiers[t]
+	return ts.base, ts.base + PFN(len(ts.free))
+}
+
 // PhysToPage returns the page descriptor for the frame holding paddr,
 // the simulator's phys_to_page().
 func (pm *PhysMem) PhysToPage(paddr uint64) *PageDescriptor {
@@ -217,6 +229,7 @@ func (pm *PhysMem) claim(ts *tierState, local int, pid int, vpn VPN) PFN {
 	pd.Flags = FlagAllocated
 	pd.AbitTotal, pd.TraceTotal = 0, 0
 	pd.AbitEpoch, pd.TraceEpoch = 0, 0
+	pd.DevTotal, pd.DevEpoch = 0, 0
 	pd.TrueTotal, pd.TrueEpoch = 0, 0
 	pm.ctrAlloc.Add(1)
 	return pfn

@@ -202,6 +202,7 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 	newPD := phys.Page(newPFN)
 	newPD.AbitTotal, newPD.TraceTotal = oldPD.AbitTotal, oldPD.TraceTotal
 	newPD.AbitEpoch, newPD.TraceEpoch = oldPD.AbitEpoch, oldPD.TraceEpoch
+	newPD.DevTotal, newPD.DevEpoch = oldPD.DevTotal, oldPD.DevEpoch
 	newPD.TrueTotal, newPD.TrueEpoch = oldPD.TrueTotal, oldPD.TrueEpoch
 	newPD.Flags |= oldPD.Flags & mem.FlagPoisoned
 
@@ -262,17 +263,55 @@ type demoteCand struct {
 	rank uint64
 }
 
+// retryTarget picks the adjacent tier a deferred migration aims for
+// now: one tier toward the top of the chain for promotes, one toward
+// the bottom for demotes, from wherever the page currently sits (it
+// may have moved since the failure, in which case the clamp makes the
+// retry a cheap already-there success). A page whose mapping is gone
+// falls back to the chain ends and lets migrate classify the vanish.
+// Read-only — no fault draws, so a two-tier machine reproduces the
+// legacy fast/slow retry targets exactly.
+func (mv *Mover) retryTarget(key core.PageKey, promote bool, last mem.TierID) mem.TierID {
+	if table, ok := mv.machine.Tables()[key.PID]; ok {
+		if pfn, ok := table.Frame(key.VPN); ok {
+			t := mv.machine.Phys.Page(pfn).Tier
+			if promote {
+				if t == mem.FastTier {
+					return mem.FastTier
+				}
+				return t - 1
+			}
+			if t >= last {
+				return last
+			}
+			return t + 1
+		}
+	}
+	if promote {
+		return mem.FastTier
+	}
+	return last
+}
+
 // ApplySelection reconciles physical placement with a policy's tier-1
-// selection: replays due deferred retries first, then demotes
-// unselected fast-tier pages coldest-first (making room), then
-// promotes selected slow-tier pages, then issues one shootdown for the
-// whole epoch's batch. ranks supplies the epoch's hotness per page
-// (missing keys count as zero, i.e. coldest); it protects
-// hot-but-unsampled residents from being evicted to fit a handful of
-// promotions. It returns (promoted, demoted), retries included.
+// selection across the whole tier chain: replays due deferred retries
+// first, then demotes unselected pages coldest-first one tier down
+// (making room, deepest tiers first so spilled frames land before
+// they are claimed), then promotes selected pages one tier up, then
+// issues one shootdown for the whole epoch's batch. All movement is
+// between adjacent tiers: a selected page deep in the chain climbs one
+// tier per epoch rather than teleporting to the top — the stepwise
+// regime multi-tier managers use, which keeps every middle tier a
+// useful staging ground and every migration's cost uniform. ranks
+// supplies the epoch's hotness per page (missing keys count as zero,
+// i.e. coldest); it protects hot-but-unsampled residents from being
+// evicted to fit a handful of promotions. It returns (promoted,
+// demoted), retries included.
 func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	mv.epoch++
 	phys := mv.machine.Phys
+	nt := phys.Tiers()
+	last := mem.TierID(nt - 1)
 	promoted, demoted := 0, 0
 
 	// Replay the deferred-retry queue. Entries whose selection has
@@ -307,10 +346,7 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		for _, e := range due {
 			queuedKeys[e.key] = struct{}{}
 			mv.Retried++
-			target := mem.SlowTier
-			if e.promote {
-				target = mem.FastTier
-			}
+			target := mv.retryTarget(e.key, e.promote, last)
 			if err := mv.migrate(e.key, target); err != nil {
 				if mv.noteFailure(err) {
 					mv.deferRetry(e.key, e.promote, e.attempts+1)
@@ -327,8 +363,14 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		}
 	}
 
-	var demote []demoteCand
-	var promote []core.PageKey
+	// One walk classifies every migratable frame into per-tier
+	// candidate columns: a selected page anywhere below the top tier
+	// is a promotion candidate one tier up, an unselected page
+	// anywhere above the bottom is demotable one tier down. On a
+	// two-tier machine these columns are exactly the legacy fast-tier
+	// demote list and slow-tier promote list.
+	demoteByTier := make([][]demoteCand, nt)
+	promoteByTier := make([][]core.PageKey, nt)
 	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
 		if pd.Flags&mem.FlagNonMigratable != 0 {
 			return
@@ -341,18 +383,64 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		}
 		_, selected := sel[key]
 		switch {
-		case pd.Tier == mem.FastTier && !selected:
-			demote = append(demote, demoteCand{key: key, rank: ranks.Get(key)})
-		case pd.Tier != mem.FastTier && selected:
+		case !selected && pd.Tier < last:
+			demoteByTier[pd.Tier] = append(demoteByTier[pd.Tier], demoteCand{key: key, rank: ranks.Get(key)})
+		case selected && pd.Tier != mem.FastTier:
 			if ranks.Get(key) < mv.MinPromoteRank {
 				break // not enough evidence to pay for the move
 			}
-			promote = append(promote, key)
+			promoteByTier[pd.Tier] = append(promoteByTier[pd.Tier], key)
 		}
 	})
 	coldest := func(a, b demoteCand) bool {
 		return core.ColdestLess(a.rank, b.rank, a.key, b.key)
 	}
+
+	// Plan demotion demand bottom-up: the room tier t must free is
+	// the promotions arriving from t+1 plus the demotions spilling in
+	// from t-1, less its free frames, clamped to the candidates it
+	// actually has. The plan is optimistic — failed migrations leave
+	// less room than planned and the shortfall surfaces as capacity
+	// failures that retry next epoch, exactly the two-tier behavior.
+	plan := make([]int, nt)
+	for t := 0; t < nt-1; t++ {
+		incoming := len(promoteByTier[t+1])
+		if t > 0 {
+			incoming += plan[t-1]
+		}
+		n := incoming - phys.FreeFrames(mem.TierID(t))
+		if n < 0 {
+			n = 0
+		}
+		if n > len(demoteByTier[t]) {
+			n = len(demoteByTier[t])
+		}
+		plan[t] = n
+	}
+
+	// Deep demote pre-pass, deepest tier first (n-2 .. 1), so every
+	// spilled frame lands in its lower tier before that tier's own
+	// spill capacity is consumed. Empty on a two-tier machine.
+	for t := nt - 2; t >= 1; t-- {
+		if plan[t] == 0 {
+			continue
+		}
+		for _, cand := range core.TopKFunc(demoteByTier[t], plan[t], coldest) {
+			if err := mv.migrate(cand.key, mem.TierID(t)+1); err != nil {
+				if mv.noteFailure(err) {
+					mv.deferRetry(cand.key, false, 1)
+				}
+				continue
+			}
+			demoted++
+			mv.tel.EmitMigration(mv.machine.Now(), cand.key.PID, uint64(cand.key.VPN), false)
+		}
+	}
+
+	// Top-of-chain exchange (tiers 0 and 1), the legacy two-tier
+	// hot path.
+	demote := demoteByTier[0]
+	promote := promoteByTier[1]
 	// Only demote as many pages as needed to fit the promotions plus
 	// any fast-tier overflow: that bound is known up front, so
 	// bounded selection pulls just the needed coldest candidates out
@@ -362,14 +450,7 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	// fallback below sorts the remainder lazily so the demotion
 	// sequence stays exactly the coldest-first order a full sort
 	// would have produced.
-	need := len(promote) - phys.FreeFrames(mem.FastTier)
-	if need < 0 {
-		need = 0
-	}
-	if need > len(demote) {
-		need = len(demote)
-	}
-	head := core.TopKFunc(demote, need, coldest)
+	head := core.TopKFunc(demote, plan[0], coldest)
 	rest := demote[len(head):]
 	restSorted := false
 
@@ -421,6 +502,30 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	}
 	promoted += promotedFresh
 	demoted += demotedFresh
+
+	// Deep promote pass (tiers 2 .. n-1), each column climbing one
+	// tier. The pre-pass planned room in the destination tiers; when
+	// it fell short the capacity failure defers the climb to the next
+	// epoch, the same backpressure the top-of-chain exchange applies.
+	// Empty on a two-tier machine.
+	for t := mem.TierID(2); t <= last; t++ {
+		for _, key := range promoteByTier[t] {
+			if phys.FreeFrames(t-1) == 0 {
+				mv.Failed++
+				mv.FailedCapacity++
+				mv.deferRetry(key, true, 1)
+				continue
+			}
+			if err := mv.migrate(key, t-1); err != nil {
+				if mv.noteFailure(err) {
+					mv.deferRetry(key, true, 1)
+				}
+				continue
+			}
+			promoted++
+			mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), true)
+		}
+	}
 	mv.Promotions += uint64(promoted)
 	mv.Demotions += uint64(demoted)
 

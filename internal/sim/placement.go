@@ -26,6 +26,12 @@ type PlacementConfig struct {
 	// Ratio is the footprint:fast-tier ratio (the paper's 4 GB fast /
 	// 60 GB slow testbed is ~1/16).
 	Ratio int
+	// Tiers, when non-nil, is the machine's full tier chain and takes
+	// the place of the legacy footprint/Ratio two-tier sizing (use
+	// DefaultChain for a workload-sized chain). The policy's tier-1
+	// capacity is the chain's top tier less the huge-fault slack. nil
+	// keeps the two-tier path bit-for-bit.
+	Tiers mem.TierChain
 	// Policy drives migrations at epoch horizons; nil runs the
 	// first-come-first-allocate baseline with no mover and no
 	// profiler.
@@ -81,6 +87,36 @@ func DefaultPlacementConfig(w workload.Workload, ibsPeriod, totalRefs, ratio int
 	}
 }
 
+// DefaultChain sizes an n-tier chain (2 ≤ n ≤ 4) for a workload the
+// way the legacy sizing carves a two-tier machine: the top tier holds
+// 1/ratio of the footprint (plus huge-fault slack), the bottom tier
+// alone can absorb the whole footprint with 25% headroom, and middle
+// tiers step geometrically between them. The 3- and 4-tier shapes
+// place a device-profiled CXL expander directly under DRAM, so a
+// devprof tracker has a tier to observe. n == 2 reproduces the legacy
+// DefaultTiers layout element for element.
+func DefaultChain(w workload.Workload, ratio, n int) (mem.TierChain, error) {
+	if ratio <= 0 {
+		ratio = 16
+	}
+	foot := int(w.FootprintBytes() >> mem.PageShift)
+	top := foot/ratio + mem.HugePages
+	bottom := foot + foot/4 + mem.HugePages
+	var spec string
+	switch n {
+	case 2:
+		spec = fmt.Sprintf("dram:%d/nvm:%d", top, bottom)
+	case 3:
+		spec = fmt.Sprintf("dram:%d/cxl:%d/nvm:%d", top, 2*foot/ratio+mem.HugePages, bottom)
+	case 4:
+		spec = fmt.Sprintf("dram:%d/cxl:%d/nvm:%d/ssd:%d",
+			top, 2*foot/ratio+mem.HugePages, 4*foot/ratio+mem.HugePages, bottom)
+	default:
+		return nil, fmt.Errorf("sim: no default %d-tier chain (want 2..4): %w", n, mem.ErrBadChain)
+	}
+	return mem.ParseTierChain(spec)
+}
+
 // PlacementResult summarizes an end-to-end run.
 type PlacementResult struct {
 	Workload   string
@@ -111,7 +147,7 @@ type PlacementResult struct {
 	RetryDropped    uint64
 	FaultsInjected  uint64
 	// Quarantined lists mechanisms the profiler permanently disabled,
-	// in fixed (ibs, abit, hwpc) order.
+	// in fixed (ibs, abit, hwpc, devprof) order.
 	Quarantined []string
 }
 
@@ -164,9 +200,21 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 		cfg.Ratio = 16
 	}
 	footPages := int(w.FootprintBytes() >> mem.PageShift)
-	fast := footPages/cfg.Ratio + mem.HugePages // slack so huge faults can land
-	slow := footPages + footPages/4 + mem.HugePages
-	m, err := cpu.NewMachine(cfg.CPU, mem.DefaultTiers(fast, slow))
+	tiers := []mem.TierSpec(cfg.Tiers)
+	// Capacity the policy may fill: leave the huge-fault slack out so
+	// promotions never fail on a full tier.
+	capacity := footPages / cfg.Ratio
+	if tiers == nil {
+		fast := footPages/cfg.Ratio + mem.HugePages // slack so huge faults can land
+		slow := footPages + footPages/4 + mem.HugePages
+		tiers = mem.DefaultTiers(fast, slow)
+	} else {
+		capacity = cfg.Tiers[0].Frames - mem.HugePages
+		if capacity < 0 {
+			capacity = 0
+		}
+	}
+	m, err := cpu.NewMachine(cfg.CPU, tiers)
 	if err != nil {
 		return PlacementResult{}, err
 	}
@@ -238,9 +286,6 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 		}
 	}
 
-	// Capacity the policy may fill: leave the slack out so promotions
-	// never fail on a full tier.
-	capacity := footPages / cfg.Ratio
 	pids := w.Processes()
 
 	buf := make([]trace.Ref, cfg.BatchSize)

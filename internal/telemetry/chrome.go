@@ -93,6 +93,9 @@ func WriteChromeTrace(w io.Writer, traces []Labeled) error {
 			case KindQuarantine:
 				emit(instantEvent(pid, chromeTID(SubFault), "quarantine "+e.Name, "fault", e.Now,
 					[]argKV{{"failures", e.A}, {"attempts", e.B}}))
+			case KindDevFlush:
+				emit(instantEvent(pid, chromeTID(SubDevProf), "dev flush", "devprof", e.Now,
+					[]argKV{{"folded", e.A}, {"lost", e.B}, {"stale", e.C}}))
 			}
 		}
 	}

@@ -99,6 +99,10 @@ func writeEventLine(b *strings.Builder, e *Event) {
 		writeJSONString(b, e.Name)
 		writeUintField(b, "failures", e.A)
 		writeUintField(b, "attempts", e.B)
+	case KindDevFlush:
+		writeUintField(b, "folded", e.A)
+		writeUintField(b, "lost", e.B)
+		writeUintField(b, "stale", e.C)
 	}
 	b.WriteString("}\n")
 }

@@ -53,6 +53,8 @@ const (
 	// SubFault is the fault-injection plane (injection counters and
 	// quarantine decisions).
 	SubFault
+	// SubDevProf is the device-side (CXL) hot-page tracker.
+	SubDevProf
 
 	numSubsystems
 )
@@ -78,6 +80,8 @@ func (s Subsystem) String() string {
 		return "runner"
 	case SubFault:
 		return "fault"
+	case SubDevProf:
+		return "devprof"
 	default:
 		return "sub?"
 	}
@@ -114,9 +118,15 @@ const (
 	KindFilter
 	// KindQuarantine marks the profiler permanently disabling one
 	// monitoring mechanism whose fault rate crossed the quarantine
-	// threshold. Name = the mechanism ("ibs", "abit", "hwpc"),
-	// A = failures observed, B = attempts observed.
+	// threshold. Name = the mechanism ("ibs", "abit", "hwpc",
+	// "devprof"), A = failures observed, B = attempts observed.
 	KindQuarantine
+	// KindDevFlush is one device-tracker counter harvest. A =
+	// observations folded into page descriptors, B = observations lost
+	// to an injected table overflow, C = observations deferred by an
+	// injected stale read. Dur is always 0: the tracker costs the host
+	// nothing.
+	KindDevFlush
 )
 
 // String names the kind as serialized in exports.
@@ -140,6 +150,8 @@ func (k Kind) String() string {
 		return "filter"
 	case KindQuarantine:
 		return "quarantine"
+	case KindDevFlush:
+		return "dev_flush"
 	default:
 		return "kind?"
 	}
@@ -322,6 +334,16 @@ func (t *Tracer) EmitQuarantine(now int64, mechanism string, failures, attempts 
 	}
 	t.emit(Event{Now: now, Kind: KindQuarantine, Sub: SubFault,
 		Name: mechanism, A: failures, B: attempts})
+}
+
+// EmitDevFlush records one device-tracker counter harvest: folded
+// observations delivered into page descriptors, plus injected losses.
+func (t *Tracer) EmitDevFlush(now int64, folded, lost, late uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Now: now, Kind: KindDevFlush, Sub: SubDevProf,
+		A: folded, B: lost, C: late})
 }
 
 // Labeled pairs a tracer with the name of the run that produced it,
