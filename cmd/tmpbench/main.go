@@ -201,6 +201,10 @@ func renderMetrics(suite *experiments.Suite, hostReg *telemetry.Registry) string
 		rows := cp.Telemetry.Attribution(cp.Result.DurationNS, cp.Result.NumCores)
 		b.WriteString(report.AttributionTable("Virtual-time attribution: "+cp.Label(), rows).Render())
 		b.WriteString("\n\n")
+		if dists := cp.Telemetry.Distributions(); len(dists) > 0 {
+			b.WriteString(report.DistTable("Distributions: "+cp.Label(), dists).Render())
+			b.WriteString("\n\n")
+		}
 		// Fault-attribution section: present only when a fault plane
 		// registered its counters (a -faults run), deterministic like
 		// the rest of the virtual-time stream.

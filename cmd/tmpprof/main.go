@@ -105,6 +105,9 @@ func main() {
 		if *metrics {
 			rows := cp.Telemetry.Attribution(res.DurationNS, res.NumCores)
 			fmt.Println(report.AttributionTable("\nVirtual-time attribution", rows).Render())
+			if dists := cp.Telemetry.Distributions(); len(dists) > 0 {
+				fmt.Println(report.DistTable("\nDistributions", dists).Render())
+			}
 		}
 		if *tracOut != "" {
 			if err := teleout.WriteTrace(*tracOut, runs); err != nil {

@@ -28,6 +28,7 @@ import (
 	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
+	"tieredmem/internal/provenance"
 	"tieredmem/internal/report"
 	"tieredmem/internal/runner"
 	"tieredmem/internal/sim"
@@ -52,7 +53,9 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for the baseline/placement arms (1 = sequential; output is identical)")
 		tracOut  = flag.String("trace", "", "write a Chrome trace_viewer JSON (virtual-time flamegraph; open in chrome://tracing or Perfetto)")
 		evtsOut  = flag.String("events", "", "write the structured JSONL event log")
-		metrics  = flag.Bool("metrics", false, "print per-subsystem virtual-time attribution tables")
+		metrics  = flag.Bool("metrics", false, "print per-subsystem virtual-time attribution, distribution, and provenance-summary tables")
+		provOut  = flag.String("prov", "", "write the decision-provenance JSONL log (per-page per-epoch evidence, rank, verdict; audit with tmpwhy)")
+		why      = flag.String("why", "", "print one page's decision timeline after the run, as pid:vpn (vpn in hex or decimal), e.g. 100:0x2a7")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of this process")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile of this process")
 	)
@@ -66,6 +69,16 @@ func main() {
 		defer stop()
 	}
 	traceOn := *tracOut != "" || *evtsOut != "" || *metrics
+	provOn := *provOut != "" || *why != "" || *metrics
+
+	var whyKey core.PageKey
+	if *why != "" {
+		var err error
+		whyKey, err = provenance.ParsePageKey(*why)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	m, err := parseMethod(*method)
 	if err != nil {
@@ -124,6 +137,7 @@ func main() {
 	// are byte-identical at any width too.
 	var runs []telemetry.Labeled
 	var planes []*fault.Plane
+	var recorders []*provenance.Recorder
 	arm := func(label string, p policy.Policy) runner.Job[sim.PlacementResult] {
 		var tr *telemetry.Tracer
 		if traceOn {
@@ -138,6 +152,13 @@ func main() {
 			fp = fault.New(faultSpec, *seed)
 		}
 		planes = append(planes, fp)
+		// The flight recorder is also one-per-run; the baseline arm has
+		// no policy to decide anything, so only policy arms record.
+		var rec *provenance.Recorder
+		if provOn && p != nil {
+			rec = provenance.New()
+		}
+		recorders = append(recorders, rec)
 		return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
 			cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
 			cfg.Tiers = chain
@@ -145,6 +166,7 @@ func main() {
 			cfg.EmulCosts = costs
 			cfg.Tracer = tr
 			cfg.Faults = fp
+			cfg.Prov = rec
 			return sim.RunPlacement(cfg, mk())
 		}}
 	}
@@ -199,12 +221,51 @@ func main() {
 		}
 	}
 
+	// Snapshot provenance in submission order: logs are labeled like
+	// telemetry runs and byte-identical at any -parallel width.
+	var provLogs []provenance.Log
+	for i, rec := range recorders {
+		if rec.Enabled() {
+			provLogs = append(provLogs, rec.Snapshot(jobs[i].Name))
+		}
+	}
+
 	if *metrics {
 		for i, r := range runs {
 			rows := r.Tracer.Attribution(results[i].DurationNS, results[i].NumCores)
 			tab := report.AttributionTable(fmt.Sprintf("\nVirtual-time attribution: %s", r.Label), rows)
 			fmt.Println(tab.Render())
+			if dists := r.Tracer.Distributions(); len(dists) > 0 {
+				fmt.Println(report.DistTable(fmt.Sprintf("\nDistributions: %s", r.Label), dists).Render())
+			}
 		}
+		for i := range provLogs {
+			lg := &provLogs[i]
+			fmt.Println()
+			fmt.Println(provenance.SummaryTable(lg).Render())
+			fmt.Println(provenance.PingPongTable(lg, 10).Render())
+			fmt.Println(provenance.DecisiveTable(lg).Render())
+		}
+	}
+	if *why != "" {
+		found := false
+		for i := range provLogs {
+			if pg := provLogs[i].Find(whyKey); pg != nil {
+				fmt.Println()
+				fmt.Println(provenance.TimelineTable(pg).Render())
+				found = true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("-why %s: page pid=%d vpn=%#x has no provenance records (never harvested or moved in any policy arm)",
+				*why, whyKey.PID, uint64(whyKey.VPN)))
+		}
+	}
+	if *provOut != "" {
+		if err := teleout.WriteProvenance(*provOut, provLogs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tmpsim: wrote provenance log %s (audit with tmpwhy -log %s)\n", *provOut, *provOut)
 	}
 	if *tracOut != "" {
 		if err := teleout.WriteTrace(*tracOut, runs); err != nil {

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	tmptrace -capture -workload xsbench -refs 6000000 -o xsbench.tmp
+//	tmptrace -capture -workload gups -events events.jsonl -metrics
 //	tmptrace -analyze xsbench.tmp
 //	tmptrace -analyze xsbench.tmp -heatmap
 package main
@@ -21,7 +22,10 @@ import (
 	"tieredmem/internal/experiments"
 	"tieredmem/internal/ibs"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/report"
 	"tieredmem/internal/stats"
+	"tieredmem/internal/telemetry"
+	"tieredmem/internal/teleout"
 	"tieredmem/internal/trace"
 )
 
@@ -36,12 +40,15 @@ func main() {
 		out     = flag.String("o", "trace.tmp", "output trace path for -capture")
 		heat    = flag.Bool("heatmap", false, "render a heatmap during -analyze")
 		topN    = flag.Int("top", 10, "hottest pages to list during -analyze")
+		tracOut = flag.String("trace", "", "write a Chrome trace_viewer JSON of the capture run (open in chrome://tracing or Perfetto)")
+		evtsOut = flag.String("events", "", "write the capture run's structured JSONL event log")
+		metrics = flag.Bool("metrics", false, "print the capture run's per-subsystem virtual-time attribution table")
 	)
 	flag.Parse()
 
 	switch {
 	case *capture:
-		if err := doCapture(*name, *refs, *rate, *seed, *out); err != nil {
+		if err := doCapture(*name, *refs, *rate, *seed, *out, *tracOut, *evtsOut, *metrics); err != nil {
 			fatal(err)
 		}
 	case *analyze != "":
@@ -54,7 +61,7 @@ func main() {
 	}
 }
 
-func doCapture(name string, refs int, rateStr string, seed int64, out string) error {
+func doCapture(name string, refs int, rateStr string, seed int64, out, tracOut, evtsOut string, metrics bool) error {
 	rateMap := map[string]int{"default": ibs.Rate1x, "1x": ibs.Rate1x, "4x": ibs.Rate4x, "8x": ibs.Rate8x}
 	rate, ok := rateMap[rateStr]
 	if !ok {
@@ -66,6 +73,7 @@ func doCapture(name string, refs int, rateStr string, seed int64, out string) er
 		BasePeriod: 16384,
 		Gating:     true,
 		Workloads:  []string{name},
+		Trace:      tracOut != "" || evtsOut != "" || metrics,
 	}
 	cp, err := experiments.Profile(opts, name, rate)
 	if err != nil {
@@ -90,6 +98,27 @@ func doCapture(name string, refs int, rateStr string, seed int64, out string) er
 	}
 	fmt.Printf("captured %d samples from %s (%.1f virtual ms) to %s\n",
 		w.Count(), name, float64(cp.Result.DurationNS)/1e6, out)
+	if opts.Trace {
+		runs := []telemetry.Labeled{{Label: cp.Label(), Tracer: cp.Telemetry}}
+		if metrics {
+			rows := cp.Telemetry.Attribution(cp.Result.DurationNS, cp.Result.NumCores)
+			fmt.Println(report.AttributionTable("\nVirtual-time attribution", rows).Render())
+			if dists := cp.Telemetry.Distributions(); len(dists) > 0 {
+				fmt.Println(report.DistTable("\nDistributions", dists).Render())
+			}
+		}
+		if tracOut != "" {
+			if err := teleout.WriteTrace(tracOut, runs); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "tmptrace: wrote trace %s (open in chrome://tracing or https://ui.perfetto.dev)\n", tracOut)
+		}
+		if evtsOut != "" {
+			if err := teleout.WriteEvents(evtsOut, runs); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

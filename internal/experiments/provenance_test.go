@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/fault"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/provenance"
+	"tieredmem/internal/runner"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/teleout"
+	"tieredmem/internal/workload"
+)
+
+// provDump mirrors the tmpsim arm fan-out: several faulted placement
+// arms run on a runner pool of the given width, each with a private
+// flight recorder, and the serialized provenance log (submission
+// order) comes back as one byte stream.
+func provDump(t *testing.T, parallel int) []byte {
+	t.Helper()
+	spec, err := fault.ParseSpec("all=0.1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	var recorders []*provenance.Recorder
+	arm := func(wname string, seed int64) runner.Job[sim.PlacementResult] {
+		rec := provenance.New()
+		recorders = append(recorders, rec)
+		return runner.Job[sim.PlacementResult]{Name: wname, Run: func() (sim.PlacementResult, error) {
+			mk := func() workload.Workload {
+				return workload.MustNew(wname, workload.Config{Seed: seed, FirstPID: 100})
+			}
+			cfg := sim.DefaultPlacementConfig(mk(), 16384, 400_000, 8, policy.History{}, core.MethodCombined)
+			cfg.Faults = fault.New(spec, seed)
+			cfg.Prov = rec
+			return sim.RunPlacement(cfg, mk())
+		}}
+	}
+	jobs := []runner.Job[sim.PlacementResult]{
+		arm("gups", 42),
+		arm("data-caching", 42),
+		arm("web-serving", 7),
+	}
+	if _, _, err := runner.Run(runner.Config{Workers: parallel}, jobs); err != nil {
+		t.Fatalf("runner.Run(parallel=%d): %v", parallel, err)
+	}
+	logs := make([]provenance.Log, len(recorders))
+	for i, rec := range recorders {
+		logs[i] = rec.Snapshot(jobs[i].Name)
+		if len(logs[i].Pages) == 0 {
+			t.Fatalf("arm %s (parallel=%d) recorded no pages", jobs[i].Name, parallel)
+		}
+	}
+	var b bytes.Buffer
+	if err := provenance.WriteLog(&b, logs); err != nil {
+		t.Fatalf("WriteLog: %v", err)
+	}
+	return b.Bytes()
+}
+
+// TestProvenanceParallelByteIdentity is the concurrency half of the
+// provenance determinism contract: recorders are private per arm and
+// the log serializes arms in submission order, so the flight-recorder
+// log written by `tmpsim -prov` must be byte-identical at -parallel 1
+// and -parallel 8.
+func TestProvenanceParallelByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement runs are slow")
+	}
+	seq := provDump(t, 1)
+	par := provDump(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("provenance logs differ between -parallel 1 and -parallel 8: %d vs %d bytes", len(seq), len(par))
+	}
+	// Round-trip through the file writer used by `tmpsim -prov` and the
+	// reader used by tmpwhy: parse, rewrite, and the bytes must not move.
+	logs, err := provenance.ReadLog(bytes.NewReader(seq))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	path := t.TempDir() + "/prov.jsonl"
+	if err := teleout.WriteProvenance(path, logs); err != nil {
+		t.Fatalf("WriteProvenance: %v", err)
+	}
+	rewritten, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rewritten, seq) {
+		t.Fatalf("parse+rewrite moved the log: %d vs %d bytes", len(rewritten), len(seq))
+	}
+}

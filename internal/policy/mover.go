@@ -9,6 +9,7 @@ import (
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/provenance"
 	"tieredmem/internal/telemetry"
 )
 
@@ -90,6 +91,13 @@ type Mover struct {
 	// pressure is injected inside mem.PhysMem).
 	faults *fault.Plane
 
+	// prov, when non-nil, receives per-page decision outcomes (moves,
+	// failures, deferrals) for the flight recorder. Record-only.
+	prov *provenance.Recorder
+	// lastMigNS stamps the previous successful migration for the
+	// inter-arrival histogram.
+	lastMigNS int64
+
 	// Telemetry (nil handles no-op when telemetry is off).
 	tel          *telemetry.Tracer
 	ctrPromote   *telemetry.Counter
@@ -105,6 +113,8 @@ type Mover struct {
 	ctrRetryOK   *telemetry.Counter
 	ctrRetryDrop *telemetry.Counter
 	ctrOverhead  *telemetry.Counter
+	histRetryLat *telemetry.Histogram
+	histInter    *telemetry.Histogram
 }
 
 // retryEntry is one deferred migration: re-attempt moving key in the
@@ -115,6 +125,9 @@ type retryEntry struct {
 	promote  bool
 	attempts int    // failed attempts so far
 	due      uint64 // first epoch eligible for re-attempt
+	// firstFail is the epoch of the original failure, so a retry that
+	// finally lands can observe its end-to-end latency in epochs.
+	firstFail uint64
 }
 
 // SetTracer attaches the telemetry layer: each successful migration
@@ -137,7 +150,13 @@ func (mv *Mover) SetTracer(t *telemetry.Tracer) {
 	mv.ctrRetryOK = t.Counter("mover/retry_succeeded")
 	mv.ctrRetryDrop = t.Counter("mover/retry_dropped")
 	mv.ctrOverhead = t.Counter("mover/overhead_ns")
+	mv.histRetryLat = t.Histogram("mover/retry_latency_epochs")
+	mv.histInter = t.Histogram("mover/interarrival_ns")
 }
+
+// SetProvenance attaches the decision-provenance flight recorder. nil
+// (the default) records nothing; the hooks are record-only either way.
+func (mv *Mover) SetProvenance(r *provenance.Recorder) { mv.prov = r }
 
 // SetFaultPlane attaches the fault-injection plane. nil (the default)
 // injects nothing.
@@ -217,42 +236,68 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 
 // noteFailure classifies a migration error into the per-reason
 // counters and reports whether it is transient (worth a deferred
-// retry). Unrecognized errors count as vanished: a page we cannot
-// reason about is not worth re-attempting.
-func (mv *Mover) noteFailure(err error) bool {
+// retry) plus the provenance reason. Unrecognized errors count as
+// vanished: a page we cannot reason about is not worth re-attempting.
+func (mv *Mover) noteFailure(err error) (bool, provenance.FailReason) {
 	mv.Failed++
 	switch {
 	case errors.Is(err, mem.ErrTierFull):
 		mv.FailedCapacity++
-		return true
+		return true, provenance.FailCapacity
 	case errors.Is(err, mem.ErrPinned):
 		mv.FailedPinned++
-		return true
+		return true, provenance.FailPinned
 	case errors.Is(err, ErrSplitFailed):
 		mv.FailedSplit++
-		return true
+		return true, provenance.FailSplit
 	default:
 		mv.FailedVanished++
-		return false
+		return false, provenance.FailVanished
 	}
 }
 
-// deferRetry queues a transiently failed migration for a later epoch.
-// attempts counts failures so far; backoff doubles per attempt (1, 2,
-// 4, ... epochs), so a page failing repeatedly consumes geometrically
-// less mover attention. Both caps drop deterministically into
-// RetryDropped.
-func (mv *Mover) deferRetry(key core.PageKey, promote bool, attempts int) {
+// deferRetry queues a transiently failed migration for a later epoch
+// and reports whether it was queued. attempts counts failures so far;
+// backoff doubles per attempt (1, 2, 4, ... epochs), so a page failing
+// repeatedly consumes geometrically less mover attention. Both caps
+// drop deterministically into RetryDropped.
+func (mv *Mover) deferRetry(key core.PageKey, promote bool, attempts int, firstFail uint64) bool {
 	if attempts >= mv.MaxRetries || len(mv.retries) >= mv.RetryQueueCap {
 		mv.RetryDropped++
-		return
+		return false
 	}
 	mv.retries = append(mv.retries, retryEntry{
-		key:      key,
-		promote:  promote,
-		attempts: attempts,
-		due:      mv.epoch + 1<<uint(attempts-1),
+		key:       key,
+		promote:   promote,
+		attempts:  attempts,
+		due:       mv.epoch + 1<<uint(attempts-1),
+		firstFail: firstFail,
 	})
+	return true
+}
+
+// noteSuccess records one successful migration everywhere it is
+// observable: the telemetry migration event (exactly where and how the
+// pre-provenance mover emitted it), the inter-arrival histogram, and
+// the flight recorder.
+func (mv *Mover) noteSuccess(key core.PageKey, promote bool, to mem.TierID) {
+	now := mv.machine.Now()
+	if mv.lastMigNS > 0 && now >= mv.lastMigNS {
+		mv.histInter.Observe(uint64(now - mv.lastMigNS))
+	}
+	mv.lastMigNS = now
+	mv.tel.EmitMigration(now, key.PID, uint64(key.VPN), promote)
+	mv.prov.NoteMove(key, promote, to)
+}
+
+// failAndMaybeRetry routes one failed migration through counter
+// classification, the deferred-retry queue, and the flight recorder.
+func (mv *Mover) failAndMaybeRetry(key core.PageKey, promote bool, err error, attempts int, firstFail uint64) {
+	transient, reason := mv.noteFailure(err)
+	mv.prov.NoteFail(key, reason)
+	if transient && mv.deferRetry(key, promote, attempts, firstFail) {
+		mv.prov.NoteDeferred(key)
+	}
 }
 
 // demoteCand is one demotion candidate with its rank precomputed at
@@ -328,12 +373,16 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		for _, e := range mv.retries {
 			if _, selected := sel[e.key]; e.promote != selected {
 				mv.RetrySuperseded++
+				mv.prov.NoteSuperseded(e.key)
 				continue
 			}
 			if e.due <= mv.epoch {
 				due = append(due, e)
 			} else {
 				keep = append(keep, e)
+				// Still waiting out its backoff: that is this epoch's
+				// verdict for the page.
+				mv.prov.NoteDeferred(e.key)
 			}
 		}
 		mv.retries = keep
@@ -348,9 +397,7 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 			mv.Retried++
 			target := mv.retryTarget(e.key, e.promote, last)
 			if err := mv.migrate(e.key, target); err != nil {
-				if mv.noteFailure(err) {
-					mv.deferRetry(e.key, e.promote, e.attempts+1)
-				}
+				mv.failAndMaybeRetry(e.key, e.promote, err, e.attempts+1, e.firstFail)
 				continue
 			}
 			mv.RetrySucceeded++
@@ -359,7 +406,8 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 			} else {
 				demoted++
 			}
-			mv.tel.EmitMigration(mv.machine.Now(), e.key.PID, uint64(e.key.VPN), e.promote)
+			mv.histRetryLat.Observe(mv.epoch - e.firstFail)
+			mv.noteSuccess(e.key, e.promote, target)
 		}
 	}
 
@@ -427,13 +475,11 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		}
 		for _, cand := range core.TopKFunc(demoteByTier[t], plan[t], coldest) {
 			if err := mv.migrate(cand.key, mem.TierID(t)+1); err != nil {
-				if mv.noteFailure(err) {
-					mv.deferRetry(cand.key, false, 1)
-				}
+				mv.failAndMaybeRetry(cand.key, false, err, 1, mv.epoch)
 				continue
 			}
 			demoted++
-			mv.tel.EmitMigration(mv.machine.Now(), cand.key.PID, uint64(cand.key.VPN), false)
+			mv.noteSuccess(cand.key, false, mem.TierID(t)+1)
 		}
 	}
 
@@ -476,29 +522,28 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		}
 		next++
 		if err := mv.migrate(cand.key, mem.SlowTier); err != nil {
-			if mv.noteFailure(err) {
-				mv.deferRetry(cand.key, false, 1)
-			}
+			mv.failAndMaybeRetry(cand.key, false, err, 1, mv.epoch)
 			continue
 		}
 		demotedFresh++
-		mv.tel.EmitMigration(mv.machine.Now(), cand.key.PID, uint64(cand.key.VPN), false)
+		mv.noteSuccess(cand.key, false, mem.SlowTier)
 	}
 	for _, key := range promote {
 		if phys.FreeFrames(mem.FastTier) == 0 {
 			mv.Failed++
 			mv.FailedCapacity++
-			mv.deferRetry(key, true, 1)
-			continue
-		}
-		if err := mv.migrate(key, mem.FastTier); err != nil {
-			if mv.noteFailure(err) {
-				mv.deferRetry(key, true, 1)
+			mv.prov.NoteFail(key, provenance.FailCapacity)
+			if mv.deferRetry(key, true, 1, mv.epoch) {
+				mv.prov.NoteDeferred(key)
 			}
 			continue
 		}
+		if err := mv.migrate(key, mem.FastTier); err != nil {
+			mv.failAndMaybeRetry(key, true, err, 1, mv.epoch)
+			continue
+		}
 		promotedFresh++
-		mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), true)
+		mv.noteSuccess(key, true, mem.FastTier)
 	}
 	promoted += promotedFresh
 	demoted += demotedFresh
@@ -513,17 +558,18 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 			if phys.FreeFrames(t-1) == 0 {
 				mv.Failed++
 				mv.FailedCapacity++
-				mv.deferRetry(key, true, 1)
-				continue
-			}
-			if err := mv.migrate(key, t-1); err != nil {
-				if mv.noteFailure(err) {
-					mv.deferRetry(key, true, 1)
+				mv.prov.NoteFail(key, provenance.FailCapacity)
+				if mv.deferRetry(key, true, 1, mv.epoch) {
+					mv.prov.NoteDeferred(key)
 				}
 				continue
 			}
+			if err := mv.migrate(key, t-1); err != nil {
+				mv.failAndMaybeRetry(key, true, err, 1, mv.epoch)
+				continue
+			}
 			promoted++
-			mv.tel.EmitMigration(mv.machine.Now(), key.PID, uint64(key.VPN), true)
+			mv.noteSuccess(key, true, t-1)
 		}
 	}
 	mv.Promotions += uint64(promoted)

@@ -1,0 +1,55 @@
+package provenance_test
+
+// External test package so the probe may build a real simulation
+// (internal/sim imports internal/provenance, so an internal test
+// would cycle).
+
+import (
+	"testing"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/provenance"
+	"tieredmem/internal/sim"
+	"tieredmem/internal/trace"
+	"tieredmem/internal/workload"
+)
+
+// TestDetachedRecorderHarvestAllocs pins the observability-off cost of
+// the flight recorder at zero: the steady-state epoch loop — harvest
+// into recycled scratch plus every recorder hook the placement path
+// calls — must not allocate when the recorder is detached (nil). This
+// is the same harvest loop BenchmarkHarvestSteadyState times and
+// harvestAllocsPerOp (internal/runner) pins without the recorder.
+func TestDetachedRecorderHarvestAllocs(t *testing.T) {
+	w := workload.MustNew("gups", workload.Config{Seed: 2, FirstPID: 100})
+	r, err := sim.New(sim.DefaultConfig(w, 4096, 1), w)
+	if err != nil {
+		t.Fatalf("harvest allocs probe: %v", err)
+	}
+	buf := make([]trace.Ref, 4096)
+	w.Fill(buf)
+	for j := range buf {
+		if _, err := r.Machine.Execute(buf[j]); err != nil {
+			t.Fatalf("harvest allocs probe: %v", err)
+		}
+	}
+	var rec *provenance.Recorder // detached, as in every un-audited run
+	var ep core.EpochStats
+	r.Profiler.HarvestEpochInto(&ep) // grow the scratch once
+	key := core.PageKey{PID: 100, VPN: 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Machine.Phys.ForEachAllocated(func(pd *mem.PageDescriptor) { pd.AbitEpoch = 1 })
+		r.Profiler.HarvestEpochInto(&ep)
+		if rec.Enabled() {
+			t.Fatal("nil recorder claims to be enabled")
+		}
+		rec.BeginEpoch(1, core.MethodCombined, core.MethodCombined, 0)
+		rec.ObserveHarvest(ep, func(core.PageKey) bool { return false })
+		rec.NoteMove(key, true, mem.FastTier)
+		rec.FinishEpoch()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state harvest with detached recorder allocates %.1f/op, want 0", allocs)
+	}
+}

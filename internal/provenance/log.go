@@ -1,0 +1,296 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/telemetry"
+)
+
+// Log is one run's serializable provenance: every page the recorder
+// saw (canonical (PID, VPN) order) with its surviving decision ring,
+// oldest record first.
+type Log struct {
+	Schema    int
+	Label     string
+	LastK     int
+	PingPongK int
+	Pages     []PageLog
+}
+
+// PageLog is one page's provenance: its ping-pong flip count, how
+// many older records the ring dropped, and the surviving records.
+type PageLog struct {
+	Key     core.PageKey
+	Flips   uint32
+	Dropped uint64
+	Records []Record
+}
+
+// Find returns the page's log entry, nil when the recorder never saw
+// it. Pages are sorted, but the linear walk is fine at query time.
+func (lg *Log) Find(key core.PageKey) *PageLog {
+	for i := range lg.Pages {
+		if lg.Pages[i].Key == key {
+			return &lg.Pages[i]
+		}
+	}
+	return nil
+}
+
+// WriteLog serializes logs as deterministic JSONL, one self-describing
+// object per line with fields in fixed order (the same contract as the
+// telemetry event log — parallel-identity tests compare these bytes):
+//
+//	{"type":"run","schema":1,"label":"history/tmp","last_k":8,"pingpong_k":4}
+//	{"type":"page","pid":100,"vpn":"0x2a","flips":1,"dropped":0,"records":5}
+//	{"type":"decision","pid":100,"vpn":"0x2a","epoch":3,"abit":1,"ibs":2,...}
+//
+// Each page line is followed by its decision lines, oldest first.
+func WriteLog(w io.Writer, logs []Log) error {
+	var b strings.Builder
+	for li := range logs {
+		lg := &logs[li]
+		b.Reset()
+		b.WriteString(`{"type":"run","schema":`)
+		b.WriteString(strconv.Itoa(lg.Schema))
+		b.WriteString(`,"label":`)
+		quoteJSON(&b, lg.Label)
+		b.WriteString(`,"last_k":`)
+		b.WriteString(strconv.Itoa(lg.LastK))
+		b.WriteString(`,"pingpong_k":`)
+		b.WriteString(strconv.Itoa(lg.PingPongK))
+		b.WriteString("}\n")
+		for pi := range lg.Pages {
+			pg := &lg.Pages[pi]
+			b.WriteString(`{"type":"page","pid":`)
+			b.WriteString(strconv.Itoa(pg.Key.PID))
+			b.WriteString(`,"vpn":"0x`)
+			b.WriteString(strconv.FormatUint(uint64(pg.Key.VPN), 16))
+			b.WriteString(`","flips":`)
+			b.WriteString(strconv.FormatUint(uint64(pg.Flips), 10))
+			b.WriteString(`,"dropped":`)
+			b.WriteString(strconv.FormatUint(pg.Dropped, 10))
+			b.WriteString(`,"records":`)
+			b.WriteString(strconv.Itoa(len(pg.Records)))
+			b.WriteString("}\n")
+			for ri := range pg.Records {
+				writeDecisionLine(&b, pg.Key, &pg.Records[ri])
+			}
+			if b.Len() >= 1<<16 {
+				if _, err := io.WriteString(w, b.String()); err != nil {
+					return err
+				}
+				b.Reset()
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDecisionLine(b *strings.Builder, key core.PageKey, rec *Record) {
+	b.WriteString(`{"type":"decision","pid":`)
+	b.WriteString(strconv.Itoa(key.PID))
+	b.WriteString(`,"vpn":"0x`)
+	b.WriteString(strconv.FormatUint(uint64(key.VPN), 16))
+	b.WriteString(`","epoch":`)
+	b.WriteString(strconv.FormatInt(int64(rec.Epoch), 10))
+	b.WriteString(`,"abit":`)
+	b.WriteString(strconv.FormatUint(uint64(rec.Abit), 10))
+	b.WriteString(`,"ibs":`)
+	b.WriteString(strconv.FormatUint(uint64(rec.Trace), 10))
+	b.WriteString(`,"write":`)
+	b.WriteString(strconv.FormatUint(uint64(rec.Write), 10))
+	b.WriteString(`,"dev":`)
+	b.WriteString(strconv.FormatUint(uint64(rec.Dev), 10))
+	b.WriteString(`,"rank":`)
+	b.WriteString(strconv.FormatUint(rec.Rank, 10))
+	b.WriteString(`,"pos":`)
+	b.WriteString(strconv.FormatInt(int64(rec.Pos), 10))
+	b.WriteString(`,"tier":`)
+	b.WriteString(strconv.FormatInt(int64(rec.Tier), 10))
+	b.WriteString(`,"verdict":`)
+	quoteJSON(b, rec.Verdict.Reason(rec.Fail))
+	b.WriteString(`,"from":`)
+	b.WriteString(strconv.FormatInt(int64(rec.From), 10))
+	b.WriteString(`,"to":`)
+	b.WriteString(strconv.FormatInt(int64(rec.To), 10))
+	b.WriteString(`,"selected":`)
+	b.WriteString(strconv.FormatBool(rec.Selected))
+	b.WriteString(`,"degraded":`)
+	b.WriteString(strconv.FormatBool(rec.Degraded))
+	b.WriteString(`,"method":`)
+	quoteJSON(b, rec.Method.String())
+	b.WriteString("}\n")
+}
+
+// quoteJSON quotes s with the minimal escaping labels and reason
+// strings can need.
+func quoteJSON(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\u00`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// logLine is the union of the three line shapes for the reader.
+type logLine struct {
+	Type      string `json:"type"`
+	Schema    int    `json:"schema"`
+	Label     string `json:"label"`
+	LastK     int    `json:"last_k"`
+	PingPongK int    `json:"pingpong_k"`
+
+	PID     int    `json:"pid"`
+	VPN     string `json:"vpn"`
+	Flips   uint32 `json:"flips"`
+	Dropped uint64 `json:"dropped"`
+
+	Epoch    int32  `json:"epoch"`
+	Abit     uint32 `json:"abit"`
+	IBS      uint32 `json:"ibs"`
+	Write    uint32 `json:"write"`
+	Dev      uint32 `json:"dev"`
+	Rank     uint64 `json:"rank"`
+	Pos      int32  `json:"pos"`
+	Tier     int8   `json:"tier"`
+	Verdict  string `json:"verdict"`
+	From     int8   `json:"from"`
+	To       int8   `json:"to"`
+	Selected bool   `json:"selected"`
+	Degraded bool   `json:"degraded"`
+	Method   string `json:"method"`
+}
+
+// ParsePageKey parses a CLI page operand of the form pid:vpn, with the
+// vpn in hex (0x-prefixed) or decimal — the notation `tmpsim -why` and
+// `tmpwhy -page` accept.
+func ParsePageKey(s string) (core.PageKey, error) {
+	pidStr, vpnStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return core.PageKey{}, fmt.Errorf("provenance: bad page %q: want pid:vpn (e.g. 100:0x2a7)", s)
+	}
+	pid, err := strconv.Atoi(pidStr)
+	if err != nil {
+		return core.PageKey{}, fmt.Errorf("provenance: bad pid in %q: %v", s, err)
+	}
+	base := 10
+	if strings.HasPrefix(vpnStr, "0x") {
+		vpnStr, base = vpnStr[2:], 16
+	}
+	vpn, err := strconv.ParseUint(vpnStr, base, 64)
+	if err != nil {
+		return core.PageKey{}, fmt.Errorf("provenance: bad vpn in %q: %v", s, err)
+	}
+	return core.PageKey{PID: pid, VPN: mem.VPN(vpn)}, nil
+}
+
+func parseKey(l *logLine) (core.PageKey, error) {
+	vpn, err := strconv.ParseUint(strings.TrimPrefix(l.VPN, "0x"), 16, 64)
+	if err != nil {
+		return core.PageKey{}, fmt.Errorf("provenance: bad vpn %q: %w", l.VPN, err)
+	}
+	return core.PageKey{PID: l.PID, VPN: mem.VPN(vpn)}, nil
+}
+
+func parseMethod(s string) core.Method {
+	switch s {
+	case "abit":
+		return core.MethodAbit
+	case "ibs":
+		return core.MethodTrace
+	case "devprof":
+		return core.MethodDev
+	default:
+		return core.MethodCombined
+	}
+}
+
+// ReadLog parses a provenance JSONL stream back into its Logs,
+// verifying the schema version on every run line — the reader-side
+// check that lets downstream consumers detect format drift.
+func ReadLog(rd io.Reader) ([]Log, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var logs []Log
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var l logLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return nil, fmt.Errorf("provenance: line %d: %w", lineNo, err)
+		}
+		switch l.Type {
+		case "run":
+			if l.Schema != telemetry.SchemaVersion {
+				return nil, fmt.Errorf("provenance: line %d: schema %d, this reader expects %d", lineNo, l.Schema, telemetry.SchemaVersion)
+			}
+			logs = append(logs, Log{Schema: l.Schema, Label: l.Label, LastK: l.LastK, PingPongK: l.PingPongK})
+		case "page":
+			if len(logs) == 0 {
+				return nil, fmt.Errorf("provenance: line %d: page before any run header", lineNo)
+			}
+			key, err := parseKey(&l)
+			if err != nil {
+				return nil, err
+			}
+			lg := &logs[len(logs)-1]
+			lg.Pages = append(lg.Pages, PageLog{Key: key, Flips: l.Flips, Dropped: l.Dropped})
+		case "decision":
+			if len(logs) == 0 || len(logs[len(logs)-1].Pages) == 0 {
+				return nil, fmt.Errorf("provenance: line %d: decision before any page", lineNo)
+			}
+			key, err := parseKey(&l)
+			if err != nil {
+				return nil, err
+			}
+			lg := &logs[len(logs)-1]
+			pg := &lg.Pages[len(lg.Pages)-1]
+			if pg.Key != key {
+				return nil, fmt.Errorf("provenance: line %d: decision for pid=%d vpn=%s under page pid=%d vpn=%#x",
+					lineNo, l.PID, l.VPN, pg.Key.PID, uint64(pg.Key.VPN))
+			}
+			v, f := verdictFromReason(l.Verdict)
+			pg.Records = append(pg.Records, Record{
+				Epoch: l.Epoch, Pos: l.Pos, Rank: l.Rank,
+				Abit: l.Abit, Trace: l.IBS, Write: l.Write, Dev: l.Dev,
+				Tier: l.Tier, From: l.From, To: l.To,
+				Verdict: v, Fail: f,
+				Selected: l.Selected, Degraded: l.Degraded,
+				Method: parseMethod(l.Method),
+			})
+		default:
+			return nil, fmt.Errorf("provenance: line %d: unknown line type %q", lineNo, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return logs, nil
+}

@@ -1,0 +1,560 @@
+// Package provenance is the decision-provenance flight recorder: at
+// each epoch cut it captures, per page, the raw evidence vector the
+// profiler harvested (A-bit / IBS / PML-write / device counts), the
+// page's fused rank position, the selector's verdict with a typed
+// reason (promoted, demoted, held:below-topk, held:quarantine-degraded,
+// deferred:retry-backoff, failed:<reason>), and the resulting tier
+// transition — answering "why did the policy do that to this page"
+// after the fact, which aggregate counters cannot.
+//
+// The recorder obeys the same contracts as telemetry:
+//
+//   - Inert by construction: it only reads simulator state handed to
+//     it and writes its own columns; attaching a recorder changes no
+//     output byte of the run (machine-checked by TestProvenanceInert
+//     in internal/sim).
+//   - Nil-safe and zero-alloc when detached: every method on a nil
+//     *Recorder is a no-op, so the mover and placement loop wire
+//     hooks unconditionally.
+//   - Bounded and seed-deterministic: per-page state lives in dense
+//     pageidx columns (no map[PageKey] anywhere), each page keeps only
+//     its last-K decision records in a ring, and the serialized log is
+//     a pure function of the run.
+package provenance
+
+import (
+	"slices"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/telemetry"
+)
+
+// Verdict is the typed outcome of one page's epoch: what the selector
+// and mover decided, or why nothing happened.
+type Verdict uint8
+
+const (
+	// VerdictNone marks a record still being collected (FinishEpoch
+	// replaces it with a held verdict).
+	VerdictNone Verdict = iota
+	// VerdictPromoted: the page moved one tier up.
+	VerdictPromoted
+	// VerdictDemoted: the page moved one tier down.
+	VerdictDemoted
+	// VerdictHeldResident: selected and already in the top tier.
+	VerdictHeldResident
+	// VerdictHeldBelowTopK: not selected — the page's rank fell below
+	// the capacity cut.
+	VerdictHeldBelowTopK
+	// VerdictHeldBelowMinRank: selected, but its evidence is below the
+	// mover's MinPromoteRank gate — not worth a migration yet.
+	VerdictHeldBelowMinRank
+	// VerdictHeldQuarantine: not selected in an epoch whose evidence
+	// was degraded by profiler quarantine — the rank that cut this
+	// page came from fewer mechanisms than requested.
+	VerdictHeldQuarantine
+	// VerdictDeferred: a transient migration failure queued the page
+	// in the mover's deferred-retry queue (or it is still waiting
+	// there under backoff).
+	VerdictDeferred
+	// VerdictSuperseded: a queued retry was dropped because the
+	// selection reversed direction before it came due.
+	VerdictSuperseded
+	// VerdictFailed: the migration failed and was not (or could not
+	// be) queued for retry; Fail carries the reason.
+	VerdictFailed
+	// VerdictHeld: selected with sufficient rank, but the mover never
+	// attempted the page this epoch (e.g. pinned non-migratable).
+	VerdictHeld
+)
+
+// FailReason classifies a failed migration, mirroring the mover's
+// reason-partitioned counters.
+type FailReason uint8
+
+const (
+	FailNone FailReason = iota
+	// FailCapacity: target tier had no free frame (mem.ErrTierFull).
+	FailCapacity
+	// FailPinned: the page was transiently pinned (mem.ErrPinned).
+	FailPinned
+	// FailSplit: the THP split raced a refcount (policy.ErrSplitFailed).
+	FailSplit
+	// FailVanished: the mapping disappeared mid-flight (mem.ErrUnmapped
+	// or an unrecognized error).
+	FailVanished
+)
+
+// String names the fail reason by the fault site that produces it.
+func (f FailReason) String() string {
+	switch f {
+	case FailCapacity:
+		return "mem.enomem"
+	case FailPinned:
+		return "mem.pinned"
+	case FailSplit:
+		return "mem.splitfail"
+	case FailVanished:
+		return "vanished"
+	default:
+		return "none"
+	}
+}
+
+// Reason renders the verdict as its typed reason string, the taxonomy
+// the timeline prints and the log serializes.
+func (v Verdict) Reason(f FailReason) string {
+	switch v {
+	case VerdictPromoted:
+		return "promoted"
+	case VerdictDemoted:
+		return "demoted"
+	case VerdictHeldResident:
+		return "held:resident"
+	case VerdictHeldBelowTopK:
+		return "held:below-topk"
+	case VerdictHeldBelowMinRank:
+		return "held:below-minrank"
+	case VerdictHeldQuarantine:
+		return "held:quarantine-degraded"
+	case VerdictDeferred:
+		return "deferred:retry-backoff"
+	case VerdictSuperseded:
+		return "superseded"
+	case VerdictFailed:
+		return "failed:" + f.String()
+	case VerdictHeld:
+		return "held"
+	default:
+		return "none"
+	}
+}
+
+// verdictFromReason inverts Reason for the log reader.
+func verdictFromReason(s string) (Verdict, FailReason) {
+	switch s {
+	case "promoted":
+		return VerdictPromoted, FailNone
+	case "demoted":
+		return VerdictDemoted, FailNone
+	case "held:resident":
+		return VerdictHeldResident, FailNone
+	case "held:below-topk":
+		return VerdictHeldBelowTopK, FailNone
+	case "held:below-minrank":
+		return VerdictHeldBelowMinRank, FailNone
+	case "held:quarantine-degraded":
+		return VerdictHeldQuarantine, FailNone
+	case "deferred:retry-backoff":
+		return VerdictDeferred, FailNone
+	case "superseded":
+		return VerdictSuperseded, FailNone
+	case "held":
+		return VerdictHeld, FailNone
+	case "failed:mem.enomem":
+		return VerdictFailed, FailCapacity
+	case "failed:mem.pinned":
+		return VerdictFailed, FailPinned
+	case "failed:mem.splitfail":
+		return VerdictFailed, FailSplit
+	case "failed:vanished":
+		return VerdictFailed, FailVanished
+	case "failed:none":
+		return VerdictFailed, FailNone
+	default:
+		return VerdictNone, FailNone
+	}
+}
+
+// Record is one page's decision record for one epoch: the evidence
+// the profiler saw, where the fused rank placed the page, and what
+// the selector and mover did about it.
+type Record struct {
+	Epoch int32
+	// Pos is the page's position in the epoch's fused ranking
+	// (0 = hottest); -1 when the page ranked zero or was only seen
+	// through a mover action.
+	Pos  int32
+	Rank uint64
+	// The raw evidence vector at harvest.
+	Abit  uint32
+	Trace uint32
+	Write uint32
+	Dev   uint32
+	// Tier the page occupied at harvest; -1 when the page was only
+	// seen through a mover action this epoch.
+	Tier int8
+	// From/To record the tier transition; -1/-1 when the page did not
+	// move.
+	From int8
+	To   int8
+	// Verdict and Fail type the outcome; Reason() renders them.
+	Verdict Verdict
+	Fail    FailReason
+	// Selected reports whether the policy's tier-1 selection included
+	// the page.
+	Selected bool
+	// Degraded reports whether quarantine degraded the ranking method
+	// this epoch; Method is the effective method the rank used.
+	Degraded bool
+	Method   core.Method
+}
+
+// residencyHist names the per-tier time-in-tier histograms. Constant
+// so counter/histogram names stay static strings; chains are at most
+// four tiers deep (mem.ParseTierChain enforces it).
+var residencyHist = [4]string{
+	"mover/residency_epochs_t0",
+	"mover/residency_epochs_t1",
+	"mover/residency_epochs_t2",
+	"mover/residency_epochs_t3",
+}
+
+// Recorder is the flight recorder for one run. The nil Recorder is
+// the detached state: every method is a zero-allocation no-op. A
+// Recorder belongs to exactly one run (like a telemetry.Tracer) and
+// is not safe for concurrent use.
+type Recorder struct {
+	lastK int // decision records kept per page
+	pingK int // promote→demote within this many epochs counts as a ping-pong
+
+	tab *pageidx.Table[core.PageKey]
+	// Dense per-page columns, indexed by interned id.
+	recs        []Record // stride-lastK ring of decision records
+	n           []uint32 // records ever written (ring occupancy = min(n, lastK))
+	stamp       []int32  // epoch of the page's newest record (-1 = none)
+	curTier     []int8   // tier the recorder last saw the page in (-1 unknown)
+	entered     []int32  // epoch the page entered curTier
+	lastPromote []int32  // epoch of the last promotion (-1 = none), for ping-pong
+	lastSel     []int32  // epoch the page was last selected (-2 = never)
+	flips       []uint32 // ping-pong count
+
+	// Per-epoch scratch (reset at FinishEpoch).
+	touched []uint32
+	selCur  []uint32
+	selPrev []uint32
+
+	curEpoch  int32
+	method    core.Method
+	requested core.Method
+	degraded  bool
+	minRank   uint64
+
+	// Telemetry handles (nil no-ops when no tracer is attached).
+	hResidency [4]*telemetry.Histogram
+	hChurn     *telemetry.Histogram
+	hPingGap   *telemetry.Histogram
+	ctrPing    *telemetry.Counter
+}
+
+// DefaultLastK is the per-page ring depth: enough epochs to read a
+// page's recent story without the log growing with run length.
+const DefaultLastK = 8
+
+// DefaultPingPongK is the ping-pong window: a demotion this many
+// epochs (or fewer) after a promotion counts as one flip.
+const DefaultPingPongK = 4
+
+// New returns a recorder with the default ring depth and ping-pong
+// window.
+func New() *Recorder { return NewK(DefaultLastK, DefaultPingPongK) }
+
+// NewK returns a recorder keeping the last lastK records per page and
+// counting promote→demote flips within pingK epochs.
+func NewK(lastK, pingK int) *Recorder {
+	if lastK < 1 {
+		lastK = 1
+	}
+	if pingK < 1 {
+		pingK = 1
+	}
+	return &Recorder{
+		lastK: lastK,
+		pingK: pingK,
+		tab:   pageidx.New(1024, core.PageKeyHash),
+	}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetTracer attaches the telemetry layer so the recorder can feed the
+// distribution metrics (time-in-tier residency, rank churn, ping-pong
+// gaps) and the mover/pingpong pathology counter. Safe with a nil
+// tracer: the handles become no-ops.
+func (r *Recorder) SetTracer(t *telemetry.Tracer) {
+	if r == nil {
+		return
+	}
+	for i := range r.hResidency {
+		r.hResidency[i] = t.Histogram(residencyHist[i])
+	}
+	r.hChurn = t.Histogram("sim/rank_churn")
+	r.hPingGap = t.Histogram("mover/pingpong_gap_epochs")
+	r.ctrPing = t.Counter("mover/pingpong")
+}
+
+// growTo ensures every column covers id.
+func (r *Recorder) growTo(id int) {
+	for len(r.n) <= id {
+		r.recs = append(r.recs, make([]Record, r.lastK)...)
+		r.n = append(r.n, 0)
+		r.stamp = append(r.stamp, -1)
+		r.curTier = append(r.curTier, -1)
+		r.entered = append(r.entered, 0)
+		r.lastPromote = append(r.lastPromote, -1)
+		r.lastSel = append(r.lastSel, -2)
+		r.flips = append(r.flips, 0)
+	}
+}
+
+// newest returns the page's current-epoch record; note() must have
+// created it first.
+func (r *Recorder) newest(id uint32) *Record {
+	slot := (int(r.n[id]) - 1) % r.lastK
+	return &r.recs[int(id)*r.lastK+slot]
+}
+
+// note returns the page's record for the current epoch, creating it
+// (claiming the next ring slot) on first touch.
+func (r *Recorder) note(key core.PageKey) (uint32, *Record) {
+	id := r.tab.Intern(key)
+	r.growTo(int(id))
+	if r.stamp[id] == r.curEpoch && r.n[id] > 0 {
+		return id, r.newest(id)
+	}
+	r.stamp[id] = r.curEpoch
+	slot := int(r.n[id]) % r.lastK
+	r.n[id]++
+	rec := &r.recs[int(id)*r.lastK+slot]
+	*rec = Record{
+		Epoch:    r.curEpoch,
+		Pos:      -1,
+		Tier:     -1,
+		From:     -1,
+		To:       -1,
+		Method:   r.method,
+		Degraded: r.degraded,
+	}
+	r.touched = append(r.touched, id)
+	return id, rec
+}
+
+// BeginEpoch opens an epoch's collection: the epoch index the harvest
+// closed, the effective ranking method after quarantine degradation,
+// the originally requested method, and the mover's promotion gate.
+// Call before ObserveHarvest and the mover's ApplySelection.
+func (r *Recorder) BeginEpoch(epoch int, effective, requested core.Method, minPromoteRank uint64) {
+	if r == nil {
+		return
+	}
+	r.curEpoch = int32(epoch)
+	r.method = effective
+	r.requested = requested
+	r.degraded = effective != requested
+	r.minRank = minPromoteRank
+}
+
+// ObserveHarvest records the epoch's evidence vectors and fused rank
+// positions, and marks which pages the policy selected. selected may
+// be nil (nothing selected).
+func (r *Recorder) ObserveHarvest(ep core.EpochStats, selected func(core.PageKey) bool) {
+	if r == nil {
+		return
+	}
+	for i := range ep.Pages {
+		ps := &ep.Pages[i]
+		id, rec := r.note(ps.Key)
+		rec.Abit, rec.Trace, rec.Write, rec.Dev = ps.Abit, ps.Trace, ps.Write, ps.Dev
+		rec.Tier = int8(ps.Tier)
+		rec.Rank = ps.Rank(r.method)
+		if selected != nil && selected(ps.Key) {
+			rec.Selected = true
+			r.selCur = append(r.selCur, id)
+		}
+		if r.curTier[id] != int8(ps.Tier) {
+			// First sighting (or an allocation-path tier change the
+			// mover never saw): restart the residency clock.
+			r.curTier[id] = int8(ps.Tier)
+			r.entered[id] = r.curEpoch
+		}
+	}
+	// The fused rank position is the page's index in the canonical
+	// ranking — the same order every selector consumes.
+	ranked := core.RankedPages(ep, r.method)
+	for pos := range ranked {
+		if id, ok := r.tab.Lookup(ranked[pos].Key); ok && r.stamp[id] == r.curEpoch {
+			r.newest(id).Pos = int32(pos)
+		}
+	}
+}
+
+// NoteMove records a successful migration to tier to. The from tier
+// is the recorder's view of where the page was; the per-tier
+// residency histogram observes the stay it just ended.
+func (r *Recorder) NoteMove(key core.PageKey, promote bool, to mem.TierID) {
+	if r == nil {
+		return
+	}
+	id, rec := r.note(key)
+	from := r.curTier[id]
+	rec.From, rec.To = from, int8(to)
+	if rec.Tier < 0 {
+		rec.Tier = from
+	}
+	if promote {
+		rec.Verdict = VerdictPromoted
+	} else {
+		rec.Verdict = VerdictDemoted
+	}
+	if from >= 0 {
+		t := int(from)
+		if t >= len(residencyHist) {
+			t = len(residencyHist) - 1
+		}
+		r.hResidency[t].Observe(uint64(r.curEpoch - r.entered[id]))
+	}
+	r.curTier[id] = int8(to)
+	r.entered[id] = r.curEpoch
+	if promote {
+		r.lastPromote[id] = r.curEpoch
+	} else if r.lastPromote[id] >= 0 && r.curEpoch-r.lastPromote[id] <= int32(r.pingK) {
+		r.flips[id]++
+		r.ctrPing.Add(1)
+		r.hPingGap.Observe(uint64(r.curEpoch - r.lastPromote[id]))
+		r.lastPromote[id] = -1 // one flip per promotion
+	}
+}
+
+// NoteFail records a failed migration attempt. A later NoteDeferred
+// or NoteMove in the same epoch refines the verdict; a success is
+// never downgraded.
+func (r *Recorder) NoteFail(key core.PageKey, reason FailReason) {
+	if r == nil {
+		return
+	}
+	_, rec := r.note(key)
+	if rec.Verdict == VerdictPromoted || rec.Verdict == VerdictDemoted {
+		return
+	}
+	rec.Verdict = VerdictFailed
+	rec.Fail = reason
+}
+
+// NoteDeferred records that the page sits in the mover's
+// deferred-retry queue this epoch — freshly queued after a transient
+// failure, or still waiting out its backoff. The failure reason from
+// a preceding NoteFail is preserved.
+func (r *Recorder) NoteDeferred(key core.PageKey) {
+	if r == nil {
+		return
+	}
+	_, rec := r.note(key)
+	if rec.Verdict == VerdictPromoted || rec.Verdict == VerdictDemoted {
+		return
+	}
+	rec.Verdict = VerdictDeferred
+}
+
+// NoteSuperseded records a queued retry dropped because the selection
+// reversed direction before it came due.
+func (r *Recorder) NoteSuperseded(key core.PageKey) {
+	if r == nil {
+		return
+	}
+	_, rec := r.note(key)
+	if rec.Verdict == VerdictPromoted || rec.Verdict == VerdictDemoted {
+		return
+	}
+	rec.Verdict = VerdictSuperseded
+}
+
+// FinishEpoch closes the epoch: pages touched this epoch with no
+// outcome get their held verdict, and the rank-churn histogram
+// observes how much the selection changed.
+func (r *Recorder) FinishEpoch() {
+	if r == nil {
+		return
+	}
+	fast := int8(mem.FastTier)
+	for _, id := range r.touched {
+		rec := r.newest(id)
+		if rec.Verdict != VerdictNone {
+			continue
+		}
+		switch {
+		case rec.Selected && rec.Tier == fast:
+			rec.Verdict = VerdictHeldResident
+		case rec.Selected && rec.Rank < r.minRank:
+			rec.Verdict = VerdictHeldBelowMinRank
+		case rec.Selected:
+			rec.Verdict = VerdictHeld
+		case r.degraded:
+			rec.Verdict = VerdictHeldQuarantine
+		default:
+			rec.Verdict = VerdictHeldBelowTopK
+		}
+	}
+	// Rank churn: pages entering the selection plus pages leaving it,
+	// relative to the previous epoch.
+	churn := 0
+	for _, id := range r.selCur {
+		if r.lastSel[id] != r.curEpoch-1 {
+			churn++
+		}
+	}
+	for _, id := range r.selCur {
+		r.lastSel[id] = r.curEpoch
+	}
+	for _, id := range r.selPrev {
+		if r.lastSel[id] != r.curEpoch {
+			churn++
+		}
+	}
+	r.hChurn.Observe(uint64(churn))
+	r.selPrev, r.selCur = r.selCur, r.selPrev[:0]
+	r.touched = r.touched[:0]
+}
+
+// Pages returns the number of distinct pages the recorder has seen.
+func (r *Recorder) Pages() int {
+	if r == nil {
+		return 0
+	}
+	return r.tab.Len()
+}
+
+// Snapshot extracts the recorder's state as a serializable log:
+// pages in canonical (PID, VPN) order, each with its surviving ring
+// of records oldest-first.
+func (r *Recorder) Snapshot(label string) Log {
+	lg := Log{Schema: telemetry.SchemaVersion, Label: label}
+	if r == nil {
+		return lg
+	}
+	lg.LastK = r.lastK
+	lg.PingPongK = r.pingK
+	for id := 0; id < r.tab.Len(); id++ {
+		cnt := int(r.n[id])
+		if cnt == 0 {
+			continue
+		}
+		pl := PageLog{Key: r.tab.Key(uint32(id)), Flips: r.flips[id]}
+		kept := cnt
+		start := 0
+		if cnt > r.lastK {
+			kept = r.lastK
+			start = cnt % r.lastK
+			pl.Dropped = uint64(cnt - r.lastK)
+		}
+		pl.Records = make([]Record, 0, kept)
+		for j := 0; j < kept; j++ {
+			pl.Records = append(pl.Records, r.recs[id*r.lastK+(start+j)%r.lastK])
+		}
+		lg.Pages = append(lg.Pages, pl)
+	}
+	slices.SortFunc(lg.Pages, func(a, b PageLog) int { return core.PageKeyCmp(a.Key, b.Key) })
+	return lg
+}

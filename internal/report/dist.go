@@ -1,0 +1,26 @@
+package report
+
+// DistRow is one histogram's distribution summary as produced by the
+// telemetry layer: exact observation count, bucket-walk percentiles
+// (each the upper bound of the log2 bucket holding that rank, clamped
+// to the exact max), and the exact maximum. All integers — the row
+// renders byte-identically on every platform.
+type DistRow struct {
+	Name  string
+	Count uint64
+	P50   uint64
+	P90   uint64
+	P99   uint64
+	Max   uint64
+}
+
+// DistTable renders distribution metrics as an aligned table. Rows
+// arrive pre-sorted by name (the registry iterates sorted), so the
+// render is deterministic.
+func DistTable(title string, rows []DistRow) *Table {
+	t := NewTable(title, "distribution", "count", "p50", "p90", "p99", "max")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Count, r.P50, r.P90, r.P99, r.Max)
+	}
+	return t
+}

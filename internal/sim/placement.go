@@ -10,6 +10,7 @@ import (
 	"tieredmem/internal/fault/invariant"
 	"tieredmem/internal/mem"
 	"tieredmem/internal/policy"
+	"tieredmem/internal/provenance"
 	"tieredmem/internal/report"
 	"tieredmem/internal/telemetry"
 	"tieredmem/internal/trace"
@@ -59,6 +60,11 @@ type PlacementConfig struct {
 	// A-bit walks, wrap HWPC counters, and fail migrations. A nil
 	// plane — and one with an all-zero spec — is inert.
 	Faults *fault.Plane
+	// Prov, when non-nil, is the run's decision-provenance flight
+	// recorder (one recorder per run, like Tracer): it captures each
+	// page's per-epoch evidence, rank position, and verdict. Inert like
+	// telemetry: results are byte-identical with or without it.
+	Prov *provenance.Recorder
 	// Invariants asserts the epoch invariant checker (frame
 	// conservation, mapping bijection, mover accounting) after every
 	// placement pass; it is forced on whenever Faults can inject.
@@ -240,6 +246,10 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 			prof.SetTracer(cfg.Tracer)
 			mover.SetTracer(cfg.Tracer)
 		}
+		if cfg.Prov.Enabled() {
+			cfg.Prov.SetTracer(cfg.Tracer)
+			mover.SetProvenance(cfg.Prov)
+		}
 	}
 	if cfg.Tracer.Enabled() {
 		m.Phys.SetTracer(cfg.Tracer)
@@ -330,7 +340,17 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 				// is ever quarantined and this is the identity.
 				method := prof.EffectiveMethod(cfg.Method)
 				sel := cfg.Policy.Select(ep, core.EpochStats{}, method, capacity)
+				if cfg.Prov.Enabled() {
+					// Record the harvest before the mover runs so the
+					// evidence snapshot predates any tier transition.
+					cfg.Prov.BeginEpoch(ep.Epoch, method, cfg.Method, mover.MinPromoteRank)
+					cfg.Prov.ObserveHarvest(ep, func(k core.PageKey) bool {
+						_, ok := sel[k]
+						return ok
+					})
+				}
 				promoted, demoted := mover.ApplySelection(sel, core.RanksOf(ep, method))
+				cfg.Prov.FinishEpoch()
 				if em != nil && promoted+demoted > 0 {
 					extra := em.ChargeMigration(promoted + demoted)
 					m.Core(0).AdvanceClock(extra)

@@ -65,6 +65,13 @@ func fixtureTracer() *Tracer {
 	tr.EmitDaemonTick(3_500, 25)
 	tr.EmitGate(3_600, "llc_miss", true, 90, 100, 2000)
 	tr.CutEpoch(4_000, 2)
+	inter := tr.Histogram("mover/interarrival_ns")
+	inter.Observe(100)
+	inter.Observe(500)
+	inter.Observe(1_000)
+	tr.Histogram("mover/residency_epochs_t0").ObserveN(3, 2)
+	// Registered but never observed: must not appear in any export.
+	tr.Histogram("sim/rank_churn")
 	return tr
 }
 
@@ -87,6 +94,7 @@ func TestGoldenJSONL(t *testing.T) {
 	got := b.String()
 	// Every line must be standalone valid JSON: the format contract
 	// that makes the log greppable and jq-able.
+	runs := 0
 	for i, line := range bytes.Split(b.Bytes(), []byte("\n")) {
 		if len(line) == 0 {
 			continue
@@ -94,6 +102,21 @@ func TestGoldenJSONL(t *testing.T) {
 		if !json.Valid(line) {
 			t.Errorf("line %d is not valid JSON: %s", i+1, line)
 		}
+		// Reader-side schema check: every run header must announce the
+		// schema version a consumer should expect.
+		var hdr struct {
+			Type   string `json:"type"`
+			Schema int    `json:"schema"`
+		}
+		if err := json.Unmarshal(line, &hdr); err == nil && hdr.Type == "run" {
+			runs++
+			if hdr.Schema != SchemaVersion {
+				t.Errorf("line %d: run header schema = %d, want %d", i+1, hdr.Schema, SchemaVersion)
+			}
+		}
+	}
+	if runs != 2 {
+		t.Errorf("found %d run headers, want 2", runs)
 	}
 	checkGolden(t, "events_jsonl", got)
 }
@@ -125,6 +148,20 @@ func TestGoldenAttributionTable(t *testing.T) {
 	rows := tr.Attribution(4_000, 4)
 	checkGolden(t, "attribution_table",
 		report.AttributionTable("Fixture attribution", rows).Render())
+}
+
+func TestGoldenDistTable(t *testing.T) {
+	rows := fixtureTracer().Distributions()
+	if len(rows) == 0 {
+		t.Fatal("fixture has no distributions")
+	}
+	for _, r := range rows {
+		if r.Name == "sim/rank_churn" {
+			t.Error("empty histogram rendered a distribution row")
+		}
+	}
+	checkGolden(t, "dist_table",
+		report.DistTable("Fixture distributions", rows).Render())
 }
 
 func TestGoldenAttributionNoDenominator(t *testing.T) {

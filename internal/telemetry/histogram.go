@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"math/bits"
+
+	"tieredmem/internal/order"
+	"tieredmem/internal/report"
+)
+
+// numHistBuckets covers every uint64: bucket 0 holds the exact value
+// 0, bucket b (1..64) holds values in [2^(b-1), 2^b-1].
+const numHistBuckets = 65
+
+// Histogram is a deterministic log2-bucket distribution: integer
+// bucket boundaries, exact observation counts, and percentiles
+// computed by an integer bucket walk — no floats anywhere, so two runs
+// that observe the same value sequence render byte-identical
+// distributions regardless of order. The nil Histogram is a valid
+// no-op (handed out by a nil Registry), mirroring Counter.
+//
+// A value v lands in bucket bits.Len64(v): bucket 0 is exactly 0,
+// bucket b covers [2^(b-1), 2^b-1]. A reported percentile is the
+// upper bound of the bucket holding that rank (clamped to the exact
+// observed maximum), so percentiles are conservative to within one
+// power of two — enough to spot a pathological tail, cheap enough to
+// keep on every run.
+type Histogram struct {
+	name    string
+	buckets [numHistBuckets]uint64
+	count   uint64
+	max     uint64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveN records one value n times (n = 0 is a no-op).
+func (h *Histogram) ObserveN(v uint64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.buckets[bits.Len64(v)] += n
+	h.count += n
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Max returns the exact largest observed value (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Bucket returns the exact observation count in bucket b.
+func (h *Histogram) Bucket(b int) uint64 {
+	if h == nil || b < 0 || b >= numHistBuckets {
+		return 0
+	}
+	return h.buckets[b]
+}
+
+// bucketUpper is the largest value bucket b can hold.
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b) - 1
+}
+
+// Percentile returns the p-th percentile (p in 1..100) as the upper
+// bound of the bucket containing the ceil(count*p/100)-th smallest
+// observation, clamped to the exact observed maximum. Empty
+// histograms report 0.
+func (h *Histogram) Percentile(p int) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > 100 {
+		p = 100
+	}
+	// rank = ceil(count * p / 100), in pure integer arithmetic.
+	rank := (h.count*uint64(p) + 99) / 100
+	var seen uint64
+	for b := 0; b < numHistBuckets; b++ {
+		seen += h.buckets[b]
+		if seen >= rank {
+			if u := bucketUpper(b); u < h.max {
+				return u
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Names follow the same "<subsystem>/<metric>" convention as counters.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h := &Histogram{name: name}
+	r.hists[name] = h
+	return h
+}
+
+// HistNames returns all registered histogram names in ascending order.
+func (r *Registry) HistNames() []string {
+	if r == nil {
+		return nil
+	}
+	return order.SortedKeys(r.hists)
+}
+
+// Histograms returns all registered histograms in ascending name
+// order.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Histogram, 0, len(r.hists))
+	for _, name := range order.SortedKeys(r.hists) {
+		out = append(out, r.hists[name])
+	}
+	return out
+}
+
+// Histogram is shorthand for Registry().Histogram(name).
+func (t *Tracer) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Histogram(name)
+}
+
+// Distributions renders every histogram with at least one observation
+// as a report row, sorted by name. Registered-but-empty histograms are
+// skipped so an inert run (handles wired, nothing observed) exports no
+// distribution bytes at all.
+func (t *Tracer) Distributions() []report.DistRow {
+	if t == nil {
+		return nil
+	}
+	var rows []report.DistRow
+	for _, h := range t.reg.Histograms() {
+		if h.Count() == 0 {
+			continue
+		}
+		rows = append(rows, report.DistRow{
+			Name:  h.Name(),
+			Count: h.Count(),
+			P50:   h.Percentile(50),
+			P90:   h.Percentile(90),
+			P99:   h.Percentile(99),
+			Max:   h.Max(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import "testing"
+
+// TestHistogramBuckets pins the bucket geometry: bucket 0 holds
+// exactly 0, bucket b holds [2^(b-1), 2^b-1].
+func TestHistogramBuckets(t *testing.T) {
+	h := New().Histogram("t/buckets")
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 62, 63}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+		if got := h.Bucket(c.bucket); got == 0 {
+			t.Errorf("Observe(%d): bucket %d empty", c.v, c.bucket)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+	if h.Max() != ^uint64(0) {
+		t.Errorf("Max = %d, want max uint64", h.Max())
+	}
+}
+
+// TestHistogramPercentiles pins the bucket-walk percentile: the value
+// at rank ceil(count*p/100)'s bucket upper bound, clamped to the exact
+// observed max.
+func TestHistogramPercentiles(t *testing.T) {
+	h := New().Histogram("t/pct")
+	// 10 observations: nine small (value 3 → bucket 2, upper 3) and
+	// one huge (value 1000 → bucket 10, upper 1023 but clamped to max
+	// 1000).
+	h.ObserveN(3, 9)
+	h.Observe(1000)
+	if got := h.Percentile(50); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	if got := h.Percentile(90); got != 3 {
+		t.Errorf("p90 = %d, want 3 (rank 9 of 10 is still the small bucket)", got)
+	}
+	if got := h.Percentile(99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000 (bucket upper 1023 clamped to exact max)", got)
+	}
+	if got := h.Percentile(100); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+
+	empty := New().Histogram("t/empty")
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+
+	zeros := New().Histogram("t/zeros")
+	zeros.ObserveN(0, 5)
+	if got := zeros.Percentile(99); got != 0 {
+		t.Errorf("all-zero p99 = %d, want 0", got)
+	}
+}
+
+// TestHistogramOrderInvariant pins determinism: the same multiset of
+// observations renders identically regardless of observation order.
+func TestHistogramOrderInvariant(t *testing.T) {
+	a := New().Histogram("t/a")
+	b := New().Histogram("t/b")
+	vals := []uint64{9, 0, 1 << 20, 3, 3, 77, 1024}
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	for _, p := range []int{50, 90, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("p%d differs by order: %d vs %d", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+	if a.Max() != b.Max() || a.Count() != b.Count() {
+		t.Errorf("max/count differ by order")
+	}
+}
+
+// TestHistogramReuse pins create-on-first-use and sorted iteration.
+func TestHistogramReuse(t *testing.T) {
+	tr := New()
+	h1 := tr.Histogram("mover/interarrival_ns")
+	h1.Observe(5)
+	h2 := tr.Histogram("mover/interarrival_ns")
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+	tr.Histogram("abit/x")
+	names := tr.Registry().HistNames()
+	if len(names) != 2 || names[0] != "abit/x" || names[1] != "mover/interarrival_ns" {
+		t.Fatalf("HistNames = %v, want sorted", names)
+	}
+}
+
+// TestAttributionSpanless is the span-less-subsystem coverage: mem
+// (counters only, never spans) renders a row only when it has _ns
+// time; devprof (zero-duration dev_flush events, no _ns counters)
+// renders an events-only row; a subsystem with neither stays absent.
+func TestAttributionSpanless(t *testing.T) {
+	// mem with only non-_ns counters: no events, no virtual time ⇒ no
+	// row. The registry alone must not conjure attribution.
+	tr := New()
+	tr.Counter("mem/alloc_frames").Add(100)
+	tr.Counter("mem/free_frames").Add(40)
+	for _, r := range tr.Attribution(1_000, 1) {
+		if r.Subsystem == "mem" {
+			t.Errorf("mem row rendered with no _ns counters and no events: %+v", r)
+		}
+	}
+
+	// mem with an _ns counter: fallback row, zero events.
+	tr2 := New()
+	tr2.Counter("mem/alloc_frames").Add(100)
+	tr2.Counter("mem/migrate_ns").AddNS(250)
+	found := false
+	for _, r := range tr2.Attribution(1_000, 1) {
+		if r.Subsystem == "mem" {
+			found = true
+			if r.Events != 0 || r.VirtualNS != 250 {
+				t.Errorf("mem row = %+v, want events=0 virtual_ns=250", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("mem _ns fallback row missing")
+	}
+
+	// devprof: zero-duration events (device observation costs the host
+	// nothing), no _ns counters ⇒ row with events > 0, virtual_ns 0.
+	tr3 := New()
+	tr3.EmitDevFlush(500, 12, 0, 0)
+	tr3.EmitDevFlush(900, 7, 1, 0)
+	tr3.Counter("devprof/folded").Add(19)
+	found = false
+	for _, r := range tr3.Attribution(1_000, 1) {
+		if r.Subsystem == "devprof" {
+			found = true
+			if r.Events != 2 || r.VirtualNS != 0 {
+				t.Errorf("devprof row = %+v, want events=2 virtual_ns=0", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("devprof zero-cost row missing")
+	}
+}

@@ -6,6 +6,12 @@ import (
 	"strings"
 )
 
+// SchemaVersion stamps every exported JSONL stream (the event log's
+// {"type":"run"} line and the provenance log's header) so downstream
+// consumers can detect format changes. Bump it whenever a line shape
+// changes incompatibly.
+const SchemaVersion = 1
+
 // WriteJSONL renders labeled traces as a JSON-Lines event log: one
 // self-describing JSON object per line, fields in fixed order, so the
 // byte stream is a pure function of the recorded events — the
@@ -13,17 +19,23 @@ import (
 //
 // Line shapes:
 //
-//	{"type":"run","label":"baseline"}
+//	{"type":"run","schema":1,"label":"baseline"}
 //	{"type":"event","kind":"abit_scan","sub":"abit","epoch":0,"now":1000,...}
 //	{"type":"counters","epoch":0,"now":1000000,"values":{"abit/scans":1,...}}
 //	{"type":"totals","values":{...}}
+//	{"type":"hist","name":"mover/interarrival_ns","count":3,...}
 //
-// Kind-specific payload fields are documented in OBSERVABILITY.md.
+// The run line carries SchemaVersion so downstream consumers can
+// detect format changes; histogram lines follow totals, empty
+// histograms omitted. Kind-specific payload fields are documented in
+// OBSERVABILITY.md.
 func WriteJSONL(w io.Writer, traces []Labeled) error {
 	var b strings.Builder
 	for _, lt := range traces {
 		b.Reset()
-		b.WriteString(`{"type":"run","label":`)
+		b.WriteString(`{"type":"run","schema":`)
+		b.WriteString(strconv.Itoa(SchemaVersion))
+		b.WriteString(`,"label":`)
 		writeJSONString(&b, lt.Label)
 		b.WriteString("}\n")
 		cuts := lt.Tracer.EpochCuts()
@@ -41,6 +53,23 @@ func WriteJSONL(w io.Writer, traces []Labeled) error {
 		if totals := lt.Tracer.Registry().Totals(); len(totals) > 0 {
 			b.WriteString(`{"type":"totals","values":`)
 			writeValuesObject(&b, totals)
+			b.WriteString("}\n")
+		}
+		// Distribution lines close the run. Empty histograms are
+		// skipped, so a run that registered handles but observed
+		// nothing exports exactly the same bytes as one with no
+		// histograms at all.
+		for _, h := range lt.Tracer.Registry().Histograms() {
+			if h.Count() == 0 {
+				continue
+			}
+			b.WriteString(`{"type":"hist","name":`)
+			writeJSONString(&b, h.Name())
+			writeUintField(&b, "count", h.Count())
+			writeUintField(&b, "p50", h.Percentile(50))
+			writeUintField(&b, "p90", h.Percentile(90))
+			writeUintField(&b, "p99", h.Percentile(99))
+			writeUintField(&b, "max", h.Max())
 			b.WriteString("}\n")
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {

@@ -64,6 +64,9 @@ func (c *Counter) Value() uint64 {
 // nothing.
 type Registry struct {
 	counters map[string]*Counter
+	// hists holds the log2-bucket distribution metrics (histogram.go);
+	// same naming convention, same sorted-iteration rule.
+	hists map[string]*Histogram
 }
 
 // Counter returns the named counter, creating it on first use.

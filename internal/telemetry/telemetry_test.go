@@ -30,6 +30,14 @@ func TestNilTracerNoOps(t *testing.T) {
 		_ = tr.Registry().Counter("z/w")
 		_ = tr.Events()
 		_ = tr.EpochCuts()
+		h := tr.Histogram("x/y_hist")
+		h.Observe(7)
+		h.ObserveN(3, 4)
+		_ = h.Count()
+		_ = h.Max()
+		_ = h.Percentile(50)
+		_ = tr.Registry().Histogram("z/w_hist")
+		_ = tr.Distributions()
 	})
 	if allocs != 0 {
 		t.Fatalf("nil tracer allocated %.1f times per op; the disabled state must be free", allocs)

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"tieredmem/internal/provenance"
 	"tieredmem/internal/telemetry"
 )
 
@@ -72,6 +73,25 @@ func WriteMemProfile(path string) error {
 	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 		f.Close()
 		return fmt.Errorf("teleout: writing mem profile: %w", err)
+	}
+	return f.Close()
+}
+
+// WriteProvenance writes the decision-provenance JSONL log for the
+// given runs (one run header per arm, pages in canonical order).
+func WriteProvenance(path string, logs []provenance.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := provenance.WriteLog(bw, logs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
 	}
 	return f.Close()
 }
