@@ -51,6 +51,7 @@ func main() {
 		useEmul  = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'ibs.drop=0.05,mem.enomem=0.2' or 'all=0.1' (see ROBUSTNESS.md); same seed + same spec reproduces the run byte-for-byte")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for the baseline/placement arms (1 = sequential; output is identical)")
+		shards   = flag.Int("shards", 0, "intra-cell shard-pool width: partition each arm's machine per simulated core and run the cells on this many workers (0 = legacy single-goroutine machine; sharded output is byte-identical at any width >= 1)")
 		tracOut  = flag.String("trace", "", "write a Chrome trace_viewer JSON (virtual-time flamegraph; open in chrome://tracing or Perfetto)")
 		evtsOut  = flag.String("events", "", "write the structured JSONL event log")
 		metrics  = flag.Bool("metrics", false, "print per-subsystem virtual-time attribution, distribution, and provenance-summary tables")
@@ -88,16 +89,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var pol policy.Policy
+	// Policies may be stateful (Decay keeps per-page scores), so every
+	// run — and every cell of a sharded run — constructs its own
+	// instance from this builder.
+	var mkPol func() policy.Policy
 	switch *polName {
 	case "history":
-		pol = policy.History{}
+		mkPol = func() policy.Policy { return policy.History{} }
 	case "decay":
-		pol = policy.NewDecay(0.5)
+		mkPol = func() policy.Policy { return policy.NewDecay(0.5) }
 	case "none":
-		pol = nil
+		mkPol = nil
 	default:
 		fatal(fmt.Errorf("unknown policy %q (history, decay, none)", *polName))
+	}
+	var pol policy.Policy
+	if mkPol != nil {
+		pol = mkPol()
 	}
 
 	mk := func() workload.Workload {
@@ -128,59 +136,131 @@ func main() {
 		costs = &c
 	}
 
-	// Each arm is a self-contained simulation (its own workload built
-	// from the seed), so the baseline and placement runs fan out on
-	// the runner pool; results come back in submission order and the
-	// printed report is byte-identical at any -parallel width. Each arm
-	// owns a private tracer (never shared across goroutines), and the
-	// exported runs list follows submission order, so telemetry files
-	// are byte-identical at any width too.
-	var runs []telemetry.Labeled
-	var planes []*fault.Plane
-	var recorders []*provenance.Recorder
-	arm := func(label string, p policy.Policy) runner.Job[sim.PlacementResult] {
-		var tr *telemetry.Tracer
-		if traceOn {
-			tr = telemetry.New()
-			runs = append(runs, telemetry.Labeled{Label: label, Tracer: tr})
-		}
-		// Like the tracer, a fault plane belongs to exactly one run:
-		// each arm derives a private plane from the same seed + spec,
-		// which keeps arms independent of pool width.
-		var fp *fault.Plane
-		if !faultSpec.Zero() {
-			fp = fault.New(faultSpec, *seed)
-		}
-		planes = append(planes, fp)
-		// The flight recorder is also one-per-run; the baseline arm has
-		// no policy to decide anything, so only policy arms record.
-		var rec *provenance.Recorder
-		if provOn && p != nil {
-			rec = provenance.New()
-		}
-		recorders = append(recorders, rec)
-		return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
-			cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
-			cfg.Tiers = chain
-			cfg.TMP.EnableDevProf = chain.HasDevice()
-			cfg.EmulCosts = costs
-			cfg.Tracer = tr
-			cfg.Faults = fp
-			cfg.Prov = rec
-			return sim.RunPlacement(cfg, mk())
-		}}
-	}
-	jobs := []runner.Job[sim.PlacementResult]{arm("baseline", nil)}
+	armNames := []string{"baseline"}
 	if pol != nil {
-		jobs = append(jobs, arm(*polName, pol))
+		armNames = append(armNames, *polName)
+	}
+	baseCfg := func(p policy.Policy) sim.PlacementConfig {
+		cfg := sim.DefaultPlacementConfig(mk(), *period, *refs, *ratio, p, m)
+		cfg.Tiers = chain
+		cfg.TMP.EnableDevProf = chain.HasDevice()
+		cfg.EmulCosts = costs
+		return cfg
 	}
 	epoch := time.Now()
-	results, stats, err := runner.Run(runner.Config{
-		Workers: *parallel,
-		NowNS:   func() int64 { return int64(time.Since(epoch)) },
-	}, jobs)
-	if err != nil {
-		fatal(err)
+	nowNS := func() int64 { return int64(time.Since(epoch)) }
+
+	var results []sim.PlacementResult
+	var runs []telemetry.Labeled
+	var runArm []int            // runs[i] belongs to arm runArm[i]
+	var planes [][]*fault.Plane // per-arm planes (one per cell when sharded)
+	var provLogs []provenance.Log
+
+	if *shards > 0 {
+		// Sharded path: each arm's machine is partitioned per simulated
+		// core and its cells run on the -shards pool (the concurrency
+		// lives inside the arm, so arms run back to back). Telemetry
+		// exports per-cell tracers in cell order and provenance fuses to
+		// one canonical log per policy arm; all printed output is a pure
+		// function of (seed, config) at any -shards width >= 1.
+		for ai, label := range armNames {
+			scfg := sim.ShardedPlacementConfig{
+				Base:      baseCfg(nil),
+				Shards:    *shards,
+				NowNS:     nowNS,
+				Label:     label,
+				Trace:     traceOn,
+				Prov:      provOn,
+				FaultSpec: faultSpec,
+				FaultSeed: *seed,
+			}
+			if ai > 0 {
+				scfg.MkPolicy = mkPol
+			}
+			sres, err := sim.RunShardedPlacement(scfg, mk)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, sres.PlacementResult)
+			for range sres.Telemetry {
+				runArm = append(runArm, ai)
+			}
+			runs = append(runs, sres.Telemetry...)
+			planes = append(planes, sres.Planes)
+			if sres.HasProv {
+				provLogs = append(provLogs, sres.Prov)
+			}
+			fmt.Fprintf(os.Stderr, "tmpsim: %s: %d cells on %d workers: wall=%s busy=%s\n",
+				label, sres.Stats.Jobs, sres.Stats.Workers,
+				time.Duration(sres.Stats.WallNS).Round(time.Millisecond),
+				time.Duration(sres.Stats.BusyNS).Round(time.Millisecond))
+		}
+	} else {
+		// Legacy path: each arm is one self-contained single-goroutine
+		// simulation (its own workload built from the seed); the two
+		// arms fan out on the runner pool, results come back in
+		// submission order, and the printed report is byte-identical at
+		// any -parallel width. Each arm owns a private tracer (never
+		// shared across goroutines), and the exported runs list follows
+		// submission order, so telemetry files are byte-identical at any
+		// width too.
+		var recorders []*provenance.Recorder
+		arm := func(ai int, label string, p policy.Policy) runner.Job[sim.PlacementResult] {
+			var tr *telemetry.Tracer
+			if traceOn {
+				tr = telemetry.New()
+				runs = append(runs, telemetry.Labeled{Label: label, Tracer: tr})
+				runArm = append(runArm, ai)
+			}
+			// Like the tracer, a fault plane belongs to exactly one run:
+			// each arm derives a private plane from the same seed + spec,
+			// which keeps arms independent of pool width.
+			var fp *fault.Plane
+			if !faultSpec.Zero() {
+				fp = fault.New(faultSpec, *seed)
+			}
+			planes = append(planes, []*fault.Plane{fp})
+			// The flight recorder is also one-per-run; the baseline arm has
+			// no policy to decide anything, so only policy arms record.
+			var rec *provenance.Recorder
+			if provOn && p != nil {
+				rec = provenance.New()
+			}
+			recorders = append(recorders, rec)
+			return runner.Job[sim.PlacementResult]{Name: label, Run: func() (sim.PlacementResult, error) {
+				cfg := baseCfg(p)
+				cfg.Tracer = tr
+				cfg.Faults = fp
+				cfg.Prov = rec
+				return sim.RunPlacement(cfg, mk())
+			}}
+		}
+		jobs := []runner.Job[sim.PlacementResult]{arm(0, "baseline", nil)}
+		if pol != nil {
+			jobs = append(jobs, arm(1, *polName, pol))
+		}
+		var stats runner.Stats
+		var err error
+		results, stats, err = runner.Run(runner.Config{
+			Workers: *parallel,
+			NowNS:   nowNS,
+		}, jobs)
+		if err != nil {
+			fatal(err)
+		}
+		if pol != nil {
+			fmt.Fprintf(os.Stderr, "tmpsim: %d arms on %d workers: wall=%s busy=%s\n",
+				stats.Jobs, stats.Workers,
+				time.Duration(stats.WallNS).Round(time.Millisecond),
+				time.Duration(stats.BusyNS).Round(time.Millisecond))
+		}
+		// Snapshot provenance in submission order: logs are labeled like
+		// telemetry runs and byte-identical at any -parallel width.
+		for i, rec := range recorders {
+			if rec.Enabled() {
+				provLogs = append(provLogs, rec.Snapshot(armNames[i]))
+			}
+		}
 	}
 
 	base := results[0]
@@ -192,10 +272,6 @@ func main() {
 
 	if pol != nil {
 		placed := results[1]
-		fmt.Fprintf(os.Stderr, "tmpsim: %d arms on %d workers: wall=%s busy=%s\n",
-			stats.Jobs, stats.Workers,
-			time.Duration(stats.WallNS).Round(time.Millisecond),
-			time.Duration(stats.BusyNS).Round(time.Millisecond))
 		fmt.Printf("%s: duration=%.2fms hitrate=%.3f promotions=%d demotions=%d\n",
 			placed.Arm, float64(placed.DurationNS)/1e6, placed.Hitrate(), placed.Promotions, placed.Demotions)
 		if costs != nil {
@@ -207,13 +283,14 @@ func main() {
 	}
 
 	if !faultSpec.Zero() {
-		// Fault-attribution section: what the plane injected into each
-		// arm and how the mover/profiler absorbed it. Same seed + same
-		// spec reproduces these numbers exactly.
+		// Fault-attribution section: what the plane(s) injected into
+		// each arm and how the mover/profiler absorbed it. Same seed +
+		// same spec reproduces these numbers exactly; sharded runs sum
+		// per-cell planes in cell order.
 		for i, r := range results {
 			tab := report.FaultTable(
-				fmt.Sprintf("\nFault attribution (%s, spec %q): %s", jobs[i].Name, faultSpec, r.Arm),
-				sim.FaultAttribution(planes[i], r))
+				fmt.Sprintf("\nFault attribution (%s, spec %q): %s", armNames[i], faultSpec, r.Arm),
+				sim.MergedFaultAttribution(planes[i], r))
 			fmt.Println(tab.Render())
 			if len(r.Quarantined) > 0 {
 				fmt.Printf("quarantined: %s\n", strings.Join(r.Quarantined, ", "))
@@ -221,18 +298,17 @@ func main() {
 		}
 	}
 
-	// Snapshot provenance in submission order: logs are labeled like
-	// telemetry runs and byte-identical at any -parallel width.
-	var provLogs []provenance.Log
-	for i, rec := range recorders {
-		if rec.Enabled() {
-			provLogs = append(provLogs, rec.Snapshot(jobs[i].Name))
-		}
-	}
-
 	if *metrics {
 		for i, r := range runs {
-			rows := r.Tracer.Attribution(results[i].DurationNS, results[i].NumCores)
+			// Each run's spans normalize against its arm's fused duration;
+			// a sharded cell is a single-core machine, so its tracer
+			// divides by one core, not the arm's cell count.
+			ar := results[runArm[i]]
+			cores := ar.NumCores
+			if *shards > 0 {
+				cores = 1
+			}
+			rows := r.Tracer.Attribution(ar.DurationNS, cores)
 			tab := report.AttributionTable(fmt.Sprintf("\nVirtual-time attribution: %s", r.Label), rows)
 			fmt.Println(tab.Render())
 			if dists := r.Tracer.Distributions(); len(dists) > 0 {

@@ -122,3 +122,50 @@ func TestDocsSyncHistograms(t *testing.T) {
 		}
 	}
 }
+
+// TestDocsSyncShardFlags keeps the sharded-pipeline flag surface
+// honest in both directions: each flag must still be defined by the
+// commands the docs attribute it to (a rename or removal fails here
+// before a stale doc ships), and each doc that explains the sharded
+// pipeline must actually name the flag.
+func TestDocsSyncShardFlags(t *testing.T) {
+	files := map[string]string{}
+	read := func(path string) string {
+		if s, ok := files[path]; ok {
+			return s
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		files[path] = string(raw)
+		return files[path]
+	}
+	for _, tc := range []struct {
+		flag    string
+		defined []string // sources that must register the flag
+		docs    []string // docs that must mention -flag
+	}{
+		{"shards",
+			[]string{"cmd/tmpsim/main.go", "cmd/tmpbench/main.go"},
+			[]string{"README.md", "EXPERIMENTS.md", "PERFORMANCE.md"}},
+		{"quick",
+			[]string{"cmd/tmpbench/main.go"},
+			[]string{"EXPERIMENTS.md", "PERFORMANCE.md"}},
+		{"heavy-refs",
+			[]string{"cmd/tmpbench/main.go"},
+			[]string{"EXPERIMENTS.md"}},
+	} {
+		def := regexp.MustCompile(`flag\.\w+\("` + regexp.QuoteMeta(tc.flag) + `"`)
+		for _, src := range tc.defined {
+			if !def.MatchString(read(src)) {
+				t.Errorf("%s does not define flag -%s, but the docs say it does", src, tc.flag)
+			}
+		}
+		for _, doc := range tc.docs {
+			if !strings.Contains(read(doc), "-"+tc.flag) {
+				t.Errorf("%s never mentions -%s; document the sharded-pipeline flag or drop it from this check", doc, tc.flag)
+			}
+		}
+	}
+}

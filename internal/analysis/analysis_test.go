@@ -174,6 +174,16 @@ func TestCtrName(t *testing.T)      { runFixture(t, CtrName) }
 func TestSentErr(t *testing.T)      { runFixture(t, SentErr) }
 func TestGoroutine(t *testing.T)    { runFixture(t, Goroutine) }
 
+// TestGoroutineShardedSim pins that the sharded pipeline did not
+// loosen the concurrency fence: internal/sim reaches parallelism only
+// through runner.ShardGroup (an ordinary call, unflagged), and a
+// literal go statement inside a package whose import path contains
+// internal/sim is still reported. The fixture nests the files so the
+// package path carries the internal/sim fragment the analyzer keys on.
+func TestGoroutineShardedSim(t *testing.T) {
+	runFixtureDir(t, fixtureDir(t, "goroutinesim"), []*Analyzer{Goroutine})
+}
+
 // TestDirectiveAudit runs the directive fixture with both
 // order-sensitivity analyzers plus the audit, exercising one directive
 // suppressing two analyzers' findings on one line, wrong-analyzer

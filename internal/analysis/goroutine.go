@@ -8,11 +8,14 @@ import (
 
 // Goroutine fences concurrency into the two packages built for it.
 // The determinism contract says parallelism lives in internal/runner
-// (the worker pool with submission-order reassembly) and
-// internal/telemetry (the tracer's drain); everywhere else in
+// (the worker pool with submission-order reassembly, including the
+// ShardGroup fork-join primitive the sharded epoch pipeline rides on)
+// and internal/telemetry (the tracer's drain); everywhere else in
 // internal/, a `go` statement, a channel, a select, or a sync.Map is a
 // second scheduler sneaking into a simulator whose outputs must be a
-// pure function of (seed, config). Flagged: go statements, channel
+// pure function of (seed, config). internal/sim parallelizes by
+// submitting pure per-cell jobs to runner.ShardGroup — an ordinary
+// call — never by spawning goroutines itself. Flagged: go statements, channel
 // types (which covers make(chan …) and signatures), send statements,
 // select statements, and sync.Map mentions. sync.Mutex/WaitGroup are
 // deliberately not flagged — guarding shared state is fine; creating

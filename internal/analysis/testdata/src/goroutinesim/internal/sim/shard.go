@@ -1,0 +1,25 @@
+// Package sim fixture: the shard-group primitive does not loosen the
+// concurrency fence. internal/sim drives the sharded pipeline by
+// submitting pure per-cell jobs to runner.ShardGroup — an ordinary
+// function call — so a literal `go` statement in sim is still a second
+// scheduler and still flagged.
+package sim
+
+func cellJob() {}
+
+// shardGroup stands in for runner.ShardGroup: calling into the
+// runner-owned primitive is the sanctioned way to fan out, and a plain
+// call draws no finding.
+func shardGroup(shards int, fn func(int)) {
+	for s := 0; s < shards; s++ {
+		fn(s)
+	}
+}
+
+func runCellsOK() {
+	shardGroup(8, func(int) { cellJob() })
+}
+
+func runCellsBad() {
+	go cellJob() // want `go statement outside internal/runner`
+}

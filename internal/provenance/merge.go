@@ -1,0 +1,49 @@
+package provenance
+
+import (
+	"slices"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/core/pageidx"
+)
+
+// MergeLogs fuses per-cell provenance logs from one sharded run into a
+// single canonical log: pages concatenate in part order and re-sort
+// into (PID, VPN) order, the same canonical order Snapshot emits, so
+// the fused log is byte-stable regardless of how many workers executed
+// the cells. The sharded pipeline's cells record disjoint page sets
+// (each cell owns its processes' address spaces); a duplicate key
+// would mean the partition leaked, so the first part's entry wins and
+// later duplicates are dropped rather than merged — there is no
+// meaningful interleave of two decision rings for one page.
+//
+// Ring parameters (LastK, PingPongK) and the schema come from the
+// first part; per-cell recorders are built identically so they never
+// disagree.
+func MergeLogs(label string, parts []Log) Log {
+	out := Log{Schema: 1, Label: label, LastK: DefaultLastK, PingPongK: DefaultPingPongK}
+	if len(parts) > 0 {
+		out.Schema = parts[0].Schema
+		out.LastK = parts[0].LastK
+		out.PingPongK = parts[0].PingPongK
+	}
+	total := 0
+	for i := range parts {
+		total += len(parts[i].Pages)
+	}
+	out.Pages = make([]PageLog, 0, total)
+	// Interning doubles as the duplicate check: a key whose fresh id is
+	// below the running count was already emitted by an earlier part.
+	tab := pageidx.New(total, core.PageKeyHash)
+	for i := range parts {
+		for j := range parts[i].Pages {
+			pg := &parts[i].Pages[j]
+			if int(tab.Intern(pg.Key)) < len(out.Pages) {
+				continue
+			}
+			out.Pages = append(out.Pages, *pg)
+		}
+	}
+	slices.SortFunc(out.Pages, func(a, b PageLog) int { return core.PageKeyCmp(a.Key, b.Key) })
+	return out
+}

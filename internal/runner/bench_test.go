@@ -13,6 +13,7 @@ package runner_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"tieredmem/internal/core"
 	"tieredmem/internal/experiments"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/policy"
 	"tieredmem/internal/sim"
 	"tieredmem/internal/trace"
 	"tieredmem/internal/workload"
@@ -72,6 +74,40 @@ func harvestAllocsPerOp(t *testing.T) float64 {
 	})
 }
 
+// Sharded-series parameters: one gups placement machine with 8
+// simulated cores (8 per-core cells), History on the combined rank.
+// Small enough for CI, big enough that the shard pool's speedup is
+// measurable on a multi-core host.
+const (
+	shardCellRefs  = 4_000_000
+	shardCellCores = 8
+)
+
+// shardedCell runs the reference cell on the intra-cell sharded
+// pipeline at the given shard-pool width and returns the wall time
+// plus a dump of the fused counters (the identity check across
+// widths).
+func shardedCell(tb testing.TB, shards int) (int64, string) {
+	mk := func() workload.Workload {
+		return workload.MustNew("gups", workload.Config{Seed: 42, FirstPID: 100})
+	}
+	cfg := sim.DefaultPlacementConfig(mk(), 16384, shardCellRefs, 16, nil, core.MethodCombined)
+	cfg.CPU.Cores = shardCellCores
+	start := time.Now()
+	res, err := sim.RunShardedPlacement(sim.ShardedPlacementConfig{
+		Base:     cfg,
+		Shards:   shards,
+		MkPolicy: func() policy.Policy { return policy.History{} },
+	}, mk)
+	if err != nil {
+		tb.Fatalf("sharded cell (shards=%d): %v", shards, err)
+	}
+	if res.Cells != shardCellCores {
+		tb.Fatalf("sharded cell (shards=%d): %d cells, want %d", shards, res.Cells, shardCellCores)
+	}
+	return time.Since(start).Nanoseconds(), fmt.Sprintf("%+v", res.PlacementResult)
+}
+
 func BenchmarkRunner(b *testing.B) {
 	modes := []struct {
 		name    string
@@ -115,6 +151,18 @@ func TestEmitRunnerBenchJSON(t *testing.T) {
 		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
 	}
 
+	// Intra-cell sharded series: the same 8-cell machine at shard-pool
+	// width 1 vs GOMAXPROCS, with the fused counters as the identity
+	// check. refs/sec here is per machine, not per pool — the number
+	// PERFORMANCE.md quotes.
+	shardWorkers := workers
+	shardSeqNS, shardSeqOut := shardedCell(t, 1)
+	shardParNS, shardParOut := shardedCell(t, shardWorkers)
+	if shardSeqOut != shardParOut {
+		t.Fatalf("sharded output differs across widths 1 and %d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+			shardWorkers, shardSeqOut, shardWorkers, shardParOut)
+	}
+
 	// The artifact is self-describing: a speedup below 1 with
 	// gomaxprocs/num_cpu of 1 documents a single-core run where the
 	// pool cannot pay for itself, not a regression. The committed copy
@@ -133,6 +181,16 @@ func TestEmitRunnerBenchJSON(t *testing.T) {
 		Speedup            float64  `json:"speedup"`
 		HarvestAllocsPerOp float64  `json:"harvest_allocs_per_op"`
 		Identical          bool     `json:"output_identical"`
+		// Intra-cell sharded pipeline series (one 8-cell machine).
+		Shards             int     `json:"shards"`
+		ShardCells         int     `json:"shard_cells"`
+		ShardRefs          int     `json:"shard_refs_per_machine"`
+		ShardSeqNS         int64   `json:"shard_sequential_ns"`
+		ShardParNS         int64   `json:"shard_parallel_ns"`
+		ShardSeqRefsPerSec float64 `json:"shard_sequential_refs_per_sec"`
+		ShardParRefsPerSec float64 `json:"shard_parallel_refs_per_sec"`
+		ShardSpeedup       float64 `json:"shard_speedup"`
+		ShardIdentical     bool    `json:"shard_output_identical"`
 	}{
 		Benchmark:          "BenchmarkRunner",
 		Experiment:         "methods",
@@ -146,6 +204,15 @@ func TestEmitRunnerBenchJSON(t *testing.T) {
 		Speedup:            float64(seqNS) / float64(parNS),
 		HarvestAllocsPerOp: harvestAllocsPerOp(t),
 		Identical:          true,
+		Shards:             shardWorkers,
+		ShardCells:         shardCellCores,
+		ShardRefs:          shardCellRefs,
+		ShardSeqNS:         shardSeqNS,
+		ShardParNS:         shardParNS,
+		ShardSeqRefsPerSec: float64(shardCellRefs) / (float64(shardSeqNS) / 1e9),
+		ShardParRefsPerSec: float64(shardCellRefs) / (float64(shardParNS) / 1e9),
+		ShardSpeedup:       float64(shardSeqNS) / float64(shardParNS),
+		ShardIdentical:     true,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -157,4 +224,7 @@ func TestEmitRunnerBenchJSON(t *testing.T) {
 	}
 	t.Logf("sequential=%s parallel=%s speedup=%.2fx (workers=%d) -> %s",
 		time.Duration(seqNS), time.Duration(parNS), report.Speedup, workers, path)
+	t.Logf("sharded cell: shards=1 %s (%.0f refs/s) shards=%d %s (%.0f refs/s) speedup=%.2fx",
+		time.Duration(shardSeqNS), report.ShardSeqRefsPerSec,
+		shardWorkers, time.Duration(shardParNS), report.ShardParRefsPerSec, report.ShardSpeedup)
 }

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestShardGroupOrder pins the fork-join contract: results are indexed
+// by shard regardless of worker width, and names default sensibly.
+func TestShardGroupOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 16} {
+		got, stats, err := ShardGroup(Config{Workers: workers}, 8, nil, func(shard int) (int, error) {
+			return shard * shard, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d shard %d: got %d want %d", workers, i, v, i*i)
+			}
+		}
+		if stats.Jobs != 8 {
+			t.Fatalf("workers=%d: stats.Jobs=%d", workers, stats.Jobs)
+		}
+		if stats.PerJob[3].Name != "shard/3" {
+			t.Fatalf("default name: %q", stats.PerJob[3].Name)
+		}
+	}
+}
+
+// TestShardGroupError pins lowest-shard error selection — the same
+// failure a sequential loop over shards would surface.
+func TestShardGroupError(t *testing.T) {
+	wantErr := errors.New("shard 2 broke")
+	_, _, err := ShardGroup(Config{Workers: 4}, 6, func(i int) string { return fmt.Sprintf("cell/%d", i) }, func(shard int) (string, error) {
+		if shard >= 2 {
+			return "", fmt.Errorf("shard %d broke", shard)
+		}
+		return "ok", nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("got error %v, want %v", err, wantErr)
+	}
+}

@@ -170,23 +170,7 @@ func (r PlacementResult) Hitrate() float64 {
 // mover's reason-partitioned failures and retry-queue outcomes, in a
 // fixed order so the rendered report is deterministic.
 func FaultAttribution(p *fault.Plane, res PlacementResult) []report.FaultRow {
-	rows := make([]report.FaultRow, 0, 16)
-	for _, s := range fault.Sites() {
-		rows = append(rows, report.FaultRow{Name: "fault/" + s.String() + "_injected", Value: p.Injected(s)})
-	}
-	rows = append(rows,
-		report.FaultRow{Name: "mover/failed", Value: res.Failed},
-		report.FaultRow{Name: "mover/failed_capacity", Value: res.FailedCapacity},
-		report.FaultRow{Name: "mover/failed_pinned", Value: res.FailedPinned},
-		report.FaultRow{Name: "mover/failed_vanished", Value: res.FailedVanished},
-		report.FaultRow{Name: "mover/failed_split", Value: res.FailedSplit},
-		report.FaultRow{Name: "mover/retries", Value: res.Retried},
-		report.FaultRow{Name: "mover/retry_succeeded", Value: res.RetrySucceeded},
-		report.FaultRow{Name: "mover/retry_superseded", Value: res.RetrySuperseded},
-		report.FaultRow{Name: "mover/retry_dropped", Value: res.RetryDropped},
-		report.FaultRow{Name: "quarantined_mechanisms", Value: uint64(len(res.Quarantined))},
-	)
-	return rows
+	return MergedFaultAttribution([]*fault.Plane{p}, res)
 }
 
 // RunPlacement executes an end-to-end tiered run and returns its

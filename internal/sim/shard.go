@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"fmt"
+
+	"tieredmem/internal/core"
+	"tieredmem/internal/fault"
+	"tieredmem/internal/mem"
+	"tieredmem/internal/policy"
+	"tieredmem/internal/provenance"
+	"tieredmem/internal/report"
+	"tieredmem/internal/runner"
+	"tieredmem/internal/telemetry"
+	"tieredmem/internal/workload"
+)
+
+// The intra-cell sharded epoch pipeline. A single experiment cell used
+// to be strictly serial: one goroutine drove every reference of the
+// simulated machine. Sharding partitions that machine into per-core
+// cells — process i runs on core i mod cores, exactly the pinning rule
+// cpu.Machine uses — and executes each cell on the bounded worker pool
+// (runner.ShardGroup) with fully private state: its own workload
+// slice, machine, profiler, policy, fault plane, tracer, and flight
+// recorder. Results are fused with deterministic reduces that walk
+// cells in cell-index order, never completion order: harvests merge
+// through core.Merger (canonical (PID, VPN) output), counters add in
+// cell order, telemetry exports per-cell traces in cell order, and
+// provenance logs concatenate disjoint page sets into one canonical
+// log. Because the partition is fixed by the machine shape (cores and
+// processes) and every reduce is ordered, the output is a pure
+// function of (seed, config): -shards N changes wall-clock only, and
+// the -shards 1 == -shards 8 byte-identity is regression-tested.
+//
+// The sharded machine model is a deliberate variant of the monolithic
+// one: each cell owns a private LLC (the way-partitioned / CAT
+// setting), a private slice of each tier's frames, and a per-cell TMP
+// daemon, so its absolute numbers differ from a -shards 0 run. What it
+// preserves exactly is the profiling semantics under test — per-page
+// evidence, ranks, placement verdicts — at a refs/sec that scales with
+// cores.
+
+// ShardedConfig wraps a profiling-run Config for sharded execution.
+type ShardedConfig struct {
+	// Base is the whole-machine configuration. Its CPU.Cores fixes the
+	// partition (one cell per core with processes to run); its Tracer
+	// and Faults fields must be nil — per-cell instances are derived
+	// from Trace/FaultSpec/FaultSeed below so no state crosses cells.
+	Base Config
+	// Shards is the worker-pool width (the -shards flag): how many
+	// cells execute concurrently. It never affects which cell computes
+	// what. <= 0 means GOMAXPROCS.
+	Shards int
+	// NowNS is the optional wall clock for runner stats (mains inject
+	// time.Since; internal packages must not read the wall clock).
+	NowNS func() int64
+	// Label prefixes per-cell telemetry labels ("<label>/cell<i>").
+	Label string
+	// Trace builds a private tracer per cell, exported in cell order.
+	Trace bool
+	// FaultSpec, when non-zero, gives every cell a private fault plane
+	// seeded FaultSeed+cell — deterministic, independent streams.
+	FaultSpec fault.Spec
+	FaultSeed int64
+}
+
+// ShardedResult is a fused profiling run plus per-cell observability.
+type ShardedResult struct {
+	Result
+	// Cells is the partition width (min(cores, processes)).
+	Cells int
+	// Stats is the shard pool's timing (speedup measurement).
+	Stats runner.Stats
+	// Telemetry holds each cell's labeled tracer in cell order; empty
+	// unless Trace was set.
+	Telemetry []telemetry.Labeled
+	// Planes holds each cell's fault plane in cell order (nil entries
+	// when FaultSpec is zero).
+	Planes []*fault.Plane
+}
+
+// FaultsInjectedTotal sums injections across the cells' planes.
+func (r ShardedResult) FaultsInjectedTotal() uint64 {
+	var total uint64
+	for _, p := range r.Planes {
+		total += p.TotalInjected()
+	}
+	return total
+}
+
+// shardTiers carves a whole-machine tier sizing into one cell's share:
+// every tier keeps 1/cells of its frames plus the huge-fault slack
+// (the same slack rule the whole-machine sizing applies once). nil in,
+// nil out — sim.New then sizes tiers from the cell's own footprint.
+func shardTiers(tiers []mem.TierSpec, cells int) []mem.TierSpec {
+	if tiers == nil {
+		return nil
+	}
+	out := make([]mem.TierSpec, len(tiers))
+	for i, t := range tiers {
+		t.Frames = t.Frames/cells + mem.HugePages
+		out[i] = t
+	}
+	return out
+}
+
+// cellLabel names cell i of a run ("history/cell3", or "cell3" when
+// the run has no label).
+func cellLabel(label string, cell int) string {
+	if label == "" {
+		return fmt.Sprintf("cell%d", cell)
+	}
+	return fmt.Sprintf("%s/cell%d", label, cell)
+}
+
+// prefixQuarantined rewrites one cell's quarantined-mechanism list
+// with its cell prefix so the fused list states which cell's daemon
+// tripped.
+func prefixQuarantined(dst []string, label string, cell int, mechs []string) []string {
+	for _, m := range mechs {
+		dst = append(dst, cellLabel(label, cell)+"/"+m)
+	}
+	return dst
+}
+
+// RunSharded executes a profiling run sharded per core and fuses the
+// result. mk must build a fresh workload from the seed on every call
+// (cells slice private instances; generators carry live RNG state).
+// Epoch k of the fused result merges every cell's epoch-k harvest
+// through core.Merger — canonical (PID, VPN) order, cell-index walk —
+// so ranks computed from it are a pure function of (seed, config)
+// regardless of Shards.
+func RunSharded(scfg ShardedConfig, mk func() workload.Workload) (ShardedResult, error) {
+	if scfg.Base.Tracer != nil || scfg.Base.Faults != nil {
+		return ShardedResult{}, fmt.Errorf("sim: sharded runs derive per-cell tracers and fault planes; set ShardedConfig.Trace/FaultSpec, not Base.Tracer/Base.Faults")
+	}
+	probe := mk()
+	if !workload.Sliceable(probe) {
+		return ShardedResult{}, fmt.Errorf("sim: workload %q cannot be sharded per core", probe.Name())
+	}
+	cells := workload.Cells(probe, scfg.Base.CPU.Cores)
+	if cells < 1 {
+		return ShardedResult{}, fmt.Errorf("sim: workload %q has no processes to shard", probe.Name())
+	}
+	procs := len(probe.Processes())
+
+	sres := ShardedResult{Cells: cells}
+	// Per-cell observability is allocated up front, in cell order, so
+	// exports never depend on completion order.
+	tracers := make([]*telemetry.Tracer, cells)
+	sres.Planes = make([]*fault.Plane, cells)
+	for c := 0; c < cells; c++ {
+		if scfg.Trace {
+			tracers[c] = telemetry.New()
+			sres.Telemetry = append(sres.Telemetry, telemetry.Labeled{Label: cellLabel(scfg.Label, c), Tracer: tracers[c]})
+		}
+		if !scfg.FaultSpec.Zero() {
+			sres.Planes[c] = fault.New(scfg.FaultSpec, scfg.FaultSeed+int64(c))
+		}
+	}
+
+	results, stats, err := runner.ShardGroup(
+		runner.Config{Workers: scfg.Shards, NowNS: scfg.NowNS}, cells,
+		func(c int) string { return cellLabel(scfg.Label, c) },
+		func(cell int) (Result, error) {
+			refs := workload.SliceRefs(int64(scfg.Base.TotalRefs), procs, cell, cells)
+			if refs == 0 {
+				return Result{}, nil
+			}
+			sliced, err := workload.Slice(mk(), cell, cells)
+			if err != nil {
+				return Result{}, err
+			}
+			cfg := scfg.Base
+			cfg.CPU.Cores = 1
+			cfg.TotalRefs = int(refs)
+			cfg.Tiers = shardTiers(scfg.Base.Tiers, cells)
+			cfg.Tracer = tracers[cell]
+			cfg.Faults = sres.Planes[cell]
+			r, err := New(cfg, sliced)
+			if err != nil {
+				return Result{}, err
+			}
+			return r.Run(Hooks{})
+		})
+	sres.Stats = stats
+	if err != nil {
+		return sres, err
+	}
+
+	// Deterministic reduce: walk cells in cell order, fuse epoch k
+	// across cells through the Merger, sum counters, keep the slowest
+	// cell's virtual duration (cells run concurrently in the modeled
+	// machine, so the machine's duration is the critical path).
+	sres.Workload = probe.Name()
+	sres.NumCores = cells
+	maxEpochs := 0
+	for _, r := range results {
+		if len(r.Epochs) > maxEpochs {
+			maxEpochs = len(r.Epochs)
+		}
+	}
+	merger := core.NewMerger(0)
+	scratch := make([]core.EpochStats, 0, cells)
+	for k := 0; k < maxEpochs; k++ {
+		scratch = scratch[:0]
+		for _, r := range results {
+			if k < len(r.Epochs) {
+				scratch = append(scratch, r.Epochs[k])
+			}
+		}
+		var fused core.EpochStats
+		merger.Merge(&fused, scratch)
+		fused.Epoch = k
+		sres.Epochs = append(sres.Epochs, fused)
+	}
+	for c, r := range results {
+		sres.Refs += r.Refs
+		if r.DurationNS > sres.DurationNS {
+			sres.DurationNS = r.DurationNS
+		}
+		sres.IBSOverheadNS += r.IBSOverheadNS
+		sres.AbitOverheadNS += r.AbitOverheadNS
+		sres.HWPCOverheadNS += r.HWPCOverheadNS
+		sres.MinorFaults += r.MinorFaults
+		sres.HugeFaults += r.HugeFaults
+		sres.Quarantined = prefixQuarantined(sres.Quarantined, scfg.Label, c, r.Quarantined)
+	}
+	return sres, nil
+}
+
+// ShardedPlacementConfig wraps a PlacementConfig for sharded
+// execution.
+type ShardedPlacementConfig struct {
+	// Base is the whole-machine configuration. Its Policy, Tracer,
+	// Faults, and Prov fields must be nil: policies may be stateful
+	// (History keeps last-epoch state, Decay keeps scores), so each
+	// cell constructs its own from MkPolicy, and observability is
+	// derived per cell like RunSharded does.
+	Base PlacementConfig
+	// Shards is the worker-pool width (the -shards flag); <= 0 means
+	// GOMAXPROCS. Never affects output bytes.
+	Shards int
+	NowNS  func() int64
+	Label  string
+	// MkPolicy builds one cell's private policy instance; nil runs the
+	// first-touch baseline arm.
+	MkPolicy func() policy.Policy
+	Trace    bool
+	// Prov builds a private flight recorder per policy cell; the fused
+	// log (one per run, canonical page order) is in the result.
+	Prov      bool
+	FaultSpec fault.Spec
+	FaultSeed int64
+}
+
+// ShardedPlacementResult is a fused placement run plus per-cell
+// observability.
+type ShardedPlacementResult struct {
+	PlacementResult
+	Cells     int
+	Stats     runner.Stats
+	Telemetry []telemetry.Labeled
+	Planes    []*fault.Plane
+	// Prov is the fused provenance log (zero-valued when Prov was not
+	// requested or the run was a baseline arm). Pages across cells are
+	// disjoint — each cell owns its processes — so the fusion is a
+	// concatenation re-sorted into canonical (PID, VPN) order.
+	Prov    provenance.Log
+	HasProv bool
+}
+
+// RunShardedPlacement executes an end-to-end placement run sharded per
+// core and fuses the result: counters sum in cell order, the virtual
+// duration is the slowest cell (the modeled machine's critical path),
+// and telemetry/provenance export per-cell in cell order. Output is a
+// pure function of (seed, config) at any Shards width.
+func RunShardedPlacement(scfg ShardedPlacementConfig, mk func() workload.Workload) (ShardedPlacementResult, error) {
+	if scfg.Base.Policy != nil || scfg.Base.Tracer != nil || scfg.Base.Faults != nil || scfg.Base.Prov != nil {
+		return ShardedPlacementResult{}, fmt.Errorf("sim: sharded placement derives per-cell policy/tracer/faults/prov; set MkPolicy/Trace/FaultSpec/Prov on ShardedPlacementConfig, not Base")
+	}
+	probe := mk()
+	if !workload.Sliceable(probe) {
+		return ShardedPlacementResult{}, fmt.Errorf("sim: workload %q cannot be sharded per core", probe.Name())
+	}
+	cells := workload.Cells(probe, scfg.Base.CPU.Cores)
+	if cells < 1 {
+		return ShardedPlacementResult{}, fmt.Errorf("sim: workload %q has no processes to shard", probe.Name())
+	}
+	procs := len(probe.Processes())
+
+	sres := ShardedPlacementResult{Cells: cells}
+	tracers := make([]*telemetry.Tracer, cells)
+	recorders := make([]*provenance.Recorder, cells)
+	sres.Planes = make([]*fault.Plane, cells)
+	for c := 0; c < cells; c++ {
+		if scfg.Trace {
+			tracers[c] = telemetry.New()
+			sres.Telemetry = append(sres.Telemetry, telemetry.Labeled{Label: cellLabel(scfg.Label, c), Tracer: tracers[c]})
+		}
+		if scfg.Prov && scfg.MkPolicy != nil {
+			recorders[c] = provenance.New()
+		}
+		if !scfg.FaultSpec.Zero() {
+			sres.Planes[c] = fault.New(scfg.FaultSpec, scfg.FaultSeed+int64(c))
+		}
+	}
+
+	results, stats, err := runner.ShardGroup(
+		runner.Config{Workers: scfg.Shards, NowNS: scfg.NowNS}, cells,
+		func(c int) string { return cellLabel(scfg.Label, c) },
+		func(cell int) (PlacementResult, error) {
+			refs := workload.SliceRefs(int64(scfg.Base.TotalRefs), procs, cell, cells)
+			if refs == 0 {
+				return PlacementResult{}, nil
+			}
+			sliced, err := workload.Slice(mk(), cell, cells)
+			if err != nil {
+				return PlacementResult{}, err
+			}
+			cfg := scfg.Base
+			cfg.CPU.Cores = 1
+			cfg.TotalRefs = int(refs)
+			cfg.Tiers = mem.TierChain(shardTiers(scfg.Base.Tiers, cells))
+			if scfg.MkPolicy != nil {
+				cfg.Policy = scfg.MkPolicy()
+			}
+			cfg.Tracer = tracers[cell]
+			cfg.Faults = sres.Planes[cell]
+			cfg.Prov = recorders[cell]
+			return RunPlacement(cfg, sliced)
+		})
+	sres.Stats = stats
+	if err != nil {
+		return sres, err
+	}
+
+	sres.Workload = probe.Name()
+	sres.NumCores = cells
+	for c, r := range results {
+		if r.Arm != "" {
+			sres.Arm = r.Arm
+		}
+		sres.Refs += r.Refs
+		if r.DurationNS > sres.DurationNS {
+			sres.DurationNS = r.DurationNS
+		}
+		sres.MemAccesses += r.MemAccesses
+		sres.Tier1Hits += r.Tier1Hits
+		sres.Promotions += r.Promotions
+		sres.Demotions += r.Demotions
+		sres.EmulInjected += r.EmulInjected
+		sres.EmulFaults += r.EmulFaults
+		sres.Failed += r.Failed
+		sres.FailedCapacity += r.FailedCapacity
+		sres.FailedPinned += r.FailedPinned
+		sres.FailedVanished += r.FailedVanished
+		sres.FailedSplit += r.FailedSplit
+		sres.Retried += r.Retried
+		sres.RetrySucceeded += r.RetrySucceeded
+		sres.RetrySuperseded += r.RetrySuperseded
+		sres.RetryDropped += r.RetryDropped
+		sres.FaultsInjected += r.FaultsInjected
+		sres.Quarantined = prefixQuarantined(sres.Quarantined, scfg.Label, c, r.Quarantined)
+	}
+	if scfg.Prov && scfg.MkPolicy != nil {
+		parts := make([]provenance.Log, 0, cells)
+		for c, rec := range recorders {
+			if rec.Enabled() {
+				parts = append(parts, rec.Snapshot(cellLabel(scfg.Label, c)))
+			}
+		}
+		sres.Prov = provenance.MergeLogs(scfg.Label, parts)
+		sres.HasProv = true
+	}
+	return sres, nil
+}
+
+// MergedFaultAttribution is FaultAttribution over a sharded run's
+// per-cell planes: per-site injections sum in cell order, the
+// mover/quarantine rows come from the fused result.
+func MergedFaultAttribution(planes []*fault.Plane, res PlacementResult) []report.FaultRow {
+	rows := make([]report.FaultRow, 0, 16)
+	for _, s := range fault.Sites() {
+		var total uint64
+		for _, p := range planes {
+			total += p.Injected(s)
+		}
+		rows = append(rows, report.FaultRow{Name: "fault/" + s.String() + "_injected", Value: total})
+	}
+	rows = append(rows,
+		report.FaultRow{Name: "mover/failed", Value: res.Failed},
+		report.FaultRow{Name: "mover/failed_capacity", Value: res.FailedCapacity},
+		report.FaultRow{Name: "mover/failed_pinned", Value: res.FailedPinned},
+		report.FaultRow{Name: "mover/failed_vanished", Value: res.FailedVanished},
+		report.FaultRow{Name: "mover/failed_split", Value: res.FailedSplit},
+		report.FaultRow{Name: "mover/retries", Value: res.Retried},
+		report.FaultRow{Name: "mover/retry_succeeded", Value: res.RetrySucceeded},
+		report.FaultRow{Name: "mover/retry_superseded", Value: res.RetrySuperseded},
+		report.FaultRow{Name: "mover/retry_dropped", Value: res.RetryDropped},
+		report.FaultRow{Name: "quarantined_mechanisms", Value: uint64(len(res.Quarantined))},
+	)
+	return rows
+}

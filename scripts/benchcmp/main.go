@@ -11,8 +11,9 @@
 // base predates them); benchmarks present only in old.txt are
 // reported as "gone". Neither fails the comparison. The one hard
 // gate is the allocation guard: any benchmark whose name matches
-// -allocs-guard (default HarvestSteadyState) and whose allocs/op
-// increased over the base exits 1 — the steady-state harvest is
+// -allocs-guard (default HarvestSteadyState|MergeHarvests) and whose
+// allocs/op increased over the base exits 1 — the steady-state
+// harvest and the sharded pipeline's epoch-cut merge are
 // contractually allocation-free and a regression there silently
 // re-inflates every epoch of every experiment cell.
 package main
@@ -75,7 +76,7 @@ func parseFile(path string) (map[string]result, error) {
 }
 
 func main() {
-	guard := flag.String("allocs-guard", "HarvestSteadyState",
+	guard := flag.String("allocs-guard", "HarvestSteadyState|MergeHarvests",
 		"fail when a benchmark matching this regexp regresses in allocs/op")
 	flag.Parse()
 	if flag.NArg() != 2 {
