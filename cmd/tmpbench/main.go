@@ -13,6 +13,7 @@
 //	colocation.txt  process-filter study under consolidation
 //	epochsweep.txt  epoch-length sweep (the paper's 1 s choice)
 //	multitier.txt   evidence mechanisms across 2-/3-/4-tier chains
+//	bwcontend.txt   transactional migration under bandwidth admission control
 //
 // Usage:
 //
@@ -52,7 +53,7 @@ import (
 func main() {
 	var (
 		out       = flag.String("out", "results", "output directory")
-		exp       = flag.String("exp", "all", "experiment: all, fig2, table4, fig3, fig4, fig5, fig6, overhead, speedup, methods, colocation, epochsweep, multitier")
+		exp       = flag.String("exp", "all", "experiment: all, fig2, table4, fig3, fig4, fig5, fig6, overhead, speedup, methods, colocation, epochsweep, multitier, bwcontend")
 		refs      = flag.Int("refs", 8_000_000, "references per profiling run")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		scale     = flag.Int("scale", 0, "footprint scale shift")
@@ -80,9 +81,12 @@ func main() {
 		}
 		defer stop()
 	}
+	// A bad -faults spec is a usage error, not a runtime failure: the
+	// parse error lists every valid site name, and exit code 2 plus the
+	// flag usage matches what a mistyped flag produces.
 	faultSpec, err := fault.ParseSpec(*faults)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 	opts := experiments.Options{
 		Seed:       *seed,
@@ -160,8 +164,9 @@ func main() {
 		"colocation": func() error { return runColocation(opts, *out) },
 		"epochsweep": func() error { return runEpochSweep(suite, *out) },
 		"multitier":  func() error { return runMultiTier(opts, *out) },
+		"bwcontend":  func() error { return runBWContend(opts, *out) },
 	}
-	order := []string{"fig2", "table4", "fig3", "fig4", "fig5", "fig6", "overhead", "speedup", "methods", "colocation", "epochsweep", "multitier"}
+	order := []string{"fig2", "table4", "fig3", "fig4", "fig5", "fig6", "overhead", "speedup", "methods", "colocation", "epochsweep", "multitier", "bwcontend"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -388,6 +393,14 @@ func runMultiTier(opts experiments.Options, out string) error {
 	return writeFile(out, "multitier.txt", experiments.RenderMultiTier(rows))
 }
 
+func runBWContend(opts experiments.Options, out string) error {
+	rows, err := experiments.BWContend(opts)
+	if err != nil {
+		return err
+	}
+	return writeFile(out, "bwcontend.txt", experiments.RenderBWContend(rows))
+}
+
 func runEpochSweep(s *experiments.Suite, out string) error {
 	rows, err := experiments.EpochSweep(s, nil)
 	if err != nil {
@@ -399,4 +412,12 @@ func runEpochSweep(s *experiments.Suite, out string) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tmpbench:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a flag-value error the way the flag package
+// reports an unknown flag: message, usage, exit 2.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmpbench:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestFaultsUnknownSiteIsUsageError pins the same -faults contract as
+// tmpsim's: a typo'd injection site must list the valid site names,
+// print usage, and exit 2. See cmd/tmpsim/main_test.go.
+func TestFaultsUnknownSiteIsUsageError(t *testing.T) {
+	if os.Getenv("TMPBENCH_RUN_MAIN") == "1" {
+		os.Args = []string{"tmpbench", "-faults", "bogus.site=1"}
+		main()
+		return // unreachable: usageFatal exits
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestFaultsUnknownSiteIsUsageError")
+	cmd.Env = append(os.Environ(), "TMPBENCH_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v\noutput:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("exit code %d, want 2 (usage error)\noutput:\n%s", code, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"unknown site",
+		"bogus.site",
+		"known:",
+		"mem.copyabort",
+		"mem.shadowstale",
+		"Usage of",
+		"-faults",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("usage output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -49,6 +49,8 @@ func main() {
 		scale    = flag.Int("scale", 0, "footprint scale shift")
 		period   = flag.Int("period", 4096, "IBS op period (4x-rate scaled default)")
 		useEmul  = flag.Bool("emul", false, "apply the BadgerTrap emulation cost model (10us/13us/50us)")
+		txmig    = flag.Bool("txmig", false, "transactional migration engine: multi-phase copy-while-mapped transactions that abort on mid-copy writes, plus zero-copy shadow demotions (see ROBUSTNESS.md)")
+		admfrac  = flag.Float64("admission", 0, "bandwidth admission control: fraction of each epoch's simulated time migrations may spend on line traffic (0 disables; denied migrations defer or reject deterministically)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'ibs.drop=0.05,mem.enomem=0.2' or 'all=0.1' (see ROBUSTNESS.md); same seed + same spec reproduces the run byte-for-byte")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for the baseline/placement arms (1 = sequential; output is identical)")
 		shards   = flag.Int("shards", 0, "intra-cell shard-pool width: partition each arm's machine per simulated core and run the cells on this many workers (0 = legacy single-goroutine machine; sharded output is byte-identical at any width >= 1)")
@@ -85,9 +87,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A bad -faults spec is a usage error, not a runtime failure: the
+	// parse error lists every valid site name, and exit code 2 plus the
+	// flag usage matches what a mistyped flag produces.
 	faultSpec, err := fault.ParseSpec(*faults)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 	// Policies may be stateful (Decay keeps per-page scores), so every
 	// run — and every cell of a sharded run — constructs its own
@@ -145,6 +150,8 @@ func main() {
 		cfg.Tiers = chain
 		cfg.TMP.EnableDevProf = chain.HasDevice()
 		cfg.EmulCosts = costs
+		cfg.TxMigration = *txmig
+		cfg.AdmissionFrac = *admfrac
 		return cfg
 	}
 	epoch := time.Now()
@@ -379,4 +386,12 @@ func parseMethod(s string) (core.Method, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tmpsim:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a flag-value error the way the flag package
+// reports an unknown flag: message, usage, exit 2.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmpsim:", err)
+	flag.Usage()
+	os.Exit(2)
 }

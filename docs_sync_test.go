@@ -155,6 +155,12 @@ func TestDocsSyncShardFlags(t *testing.T) {
 		{"heavy-refs",
 			[]string{"cmd/tmpbench/main.go"},
 			[]string{"EXPERIMENTS.md"}},
+		{"txmig",
+			[]string{"cmd/tmpsim/main.go"},
+			[]string{"OBSERVABILITY.md", "ROBUSTNESS.md"}},
+		{"admission",
+			[]string{"cmd/tmpsim/main.go"},
+			[]string{"OBSERVABILITY.md", "ROBUSTNESS.md"}},
 	} {
 		def := regexp.MustCompile(`flag\.\w+\("` + regexp.QuoteMeta(tc.flag) + `"`)
 		for _, src := range tc.defined {

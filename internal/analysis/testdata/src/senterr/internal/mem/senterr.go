@@ -10,10 +10,14 @@ import (
 	"strings"
 )
 
-// Package-level sentinels are the sanctioned shape.
+// Package-level sentinels are the sanctioned shape. The transactional
+// pair mirrors mem.ErrCopyAborted / mem.ErrShadowStale: new failure
+// classes get sentinels, not strings.
 var (
-	ErrTierFull = errors.New("fixture: tier full")
-	ErrPinned   = errors.New("fixture: page pinned")
+	ErrTierFull    = errors.New("fixture: tier full")
+	ErrPinned      = errors.New("fixture: page pinned")
+	ErrCopyAborted = errors.New("fixture: page dirtied mid-copy")
+	ErrShadowStale = errors.New("fixture: shadow copy stale")
 )
 
 func textCompare(err error) bool {
@@ -47,6 +51,22 @@ func adHoc(full bool) error {
 	return nil
 }
 
+func abortTextCompare(err error) bool {
+	return err.Error() == "fixture: page dirtied mid-copy" // want `comparing err.Error`
+}
+
+func abortDirectCompare(err error) bool {
+	return err == ErrCopyAborted // want `direct == comparison of errors breaks under wrapping`
+}
+
+func staleTextMatch(err error) bool {
+	return strings.Contains(err.Error(), "shadow copy stale") // want `matching err.Error.. text with strings.Contains`
+}
+
+func staleDirectNotEqual(err error) bool {
+	return err != ErrShadowStale // want `direct != comparison of errors breaks under wrapping`
+}
+
 // Classification through errors.Is, nil checks, and %w wrapping are
 // the sanctioned patterns.
 func classifyOK(err error) bool {
@@ -61,4 +81,8 @@ func wrapOK(err error) error {
 		return fmt.Errorf("promote: %w", err)
 	}
 	return nil
+}
+
+func classifyTxOK(err error) bool {
+	return errors.Is(err, ErrCopyAborted) || errors.Is(err, ErrShadowStale)
 }

@@ -7,6 +7,7 @@ package fixture
 
 import (
 	"tieredmem/internal/fault"
+	"tieredmem/internal/policy"
 	"tieredmem/internal/telemetry"
 	"tieredmem/testdata/taintsrc/ext"
 )
@@ -21,6 +22,13 @@ func launderedTwoHops(t *telemetry.Tracer) {
 
 func launderedSeed() *fault.Plane {
 	return fault.New(fault.Spec{}, ext.Roll()) // want `global-rand-derived value flows into a fault-package call` `launders global randomness into internal/ code`
+}
+
+// An admission budget set from the host clock would make every
+// admit/defer/reject decision wall-clock-dependent — exactly the
+// laundering path the analyzer must catch.
+func launderedAdmissionBudget(mv *policy.Mover) {
+	mv.AdmissionBudgetNS = ext.Stamp() // want `launders wall-clock time into internal/ code`
 }
 
 func pureOK(t *telemetry.Tracer) {

@@ -161,6 +161,16 @@ func TestGoldenRenderMultiTier(t *testing.T) {
 	checkGolden(t, "multitier_render", RenderMultiTier(rows))
 }
 
+func TestGoldenRenderBWContend(t *testing.T) {
+	rows := []BWContendRow{
+		{Workload: "gups", Frac: 0, Arm: "clean", Hitrate: 0.72, TxCommitted: 2400, AbortedDirty: 0, ShadowHits: 310, Admitted: 0, Deferred: 0, Rejected: 0, DurationNS: 970_000},
+		{Workload: "gups", Frac: 0.25, Arm: "clean", Hitrate: 0.66, TxCommitted: 1100, ShadowHits: 290, Admitted: 1390, Deferred: 800, Rejected: 120, DurationNS: 1_010_000},
+		{Workload: "gups", Frac: 1.0, Arm: "clean", Hitrate: 0.71, TxCommitted: 2300, ShadowHits: 305, Admitted: 2605, Deferred: 90, Rejected: 0, DurationNS: 975_000},
+		{Workload: "gups", Frac: 0.25, Arm: "chaos", Hitrate: 0.63, TxCommitted: 990, AbortedDirty: 130, ShadowHits: 250, Admitted: 1370, Deferred: 840, Rejected: 160, DurationNS: 1_030_000},
+	}
+	checkGolden(t, "bwcontend_render", RenderBWContend(rows))
+}
+
 func TestGoldenRenderColocation(t *testing.T) {
 	res := ColocationResult{
 		IdlerCount:     16,

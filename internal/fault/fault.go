@@ -72,6 +72,16 @@ const (
 	// nothing is delivered this epoch and the counts carry over (the
 	// host read raced the device's internal aggregation window).
 	SiteDevStale
+	// SiteCopyAbort dirties a page mid-copy during a transactional
+	// migration: the verify-clean phase sees the write and the
+	// transaction aborts with mem.ErrCopyAborted (consulted by
+	// policy.Mover per transactional copy).
+	SiteCopyAbort
+	// SiteShadowStale invalidates a slow-tier shadow copy at the moment
+	// a re-demotion tries to reuse it: the remap-only fast path is
+	// abandoned and the demotion pays the full copy (consulted by
+	// policy.Mover per shadow-hit attempt).
+	SiteShadowStale
 
 	numSites
 )
@@ -97,6 +107,10 @@ func (s Site) String() string {
 		return "devprof.overflow"
 	case SiteDevStale:
 		return "devprof.stale"
+	case SiteCopyAbort:
+		return "mem.copyabort"
+	case SiteShadowStale:
+		return "mem.shadowstale"
 	default:
 		return "site?"
 	}
@@ -123,6 +137,10 @@ func (s Site) counterName() string {
 		return "fault/devprof_overflow"
 	case SiteDevStale:
 		return "fault/devprof_stale"
+	case SiteCopyAbort:
+		return "fault/mem_copyabort"
+	case SiteShadowStale:
+		return "fault/mem_shadowstale"
 	default:
 		return "fault/unknown"
 	}
@@ -403,3 +421,15 @@ func (p *Plane) OverflowDevCounters() bool { return p.decide(SiteDevOverflow) }
 // data — nothing delivered, counts carried to the next flush
 // (consulted by devprof.Tracker per flush with staged observations).
 func (p *Plane) StaleDevFlush() bool { return p.decide(SiteDevStale) }
+
+// DirtyCopy reports whether the page being copied by a transactional
+// migration was written mid-copy, forcing the transaction to abort
+// (consulted by policy.Mover at the verify-clean phase, once per
+// transactional copy).
+func (p *Plane) DirtyCopy() bool { return p.decide(SiteCopyAbort) }
+
+// StaleShadow reports whether the shadow copy a re-demotion is about
+// to reuse went stale under it (consulted by policy.Mover once per
+// shadow-hit attempt; legacy, non-transactional migrations never
+// consult it).
+func (p *Plane) StaleShadow() bool { return p.decide(SiteShadowStale) }

@@ -50,7 +50,7 @@ func New() *Checker { return &Checker{} }
 type Violation struct {
 	// Rule names the invariant ("tier-conservation", "tier-mismatch",
 	// "duplicate-frame", "dangling-mapping", "descriptor-mismatch",
-	// "leaked-frame", "mover-accounting").
+	// "leaked-frame", "shadow-conservation", "mover-accounting").
 	Rule string
 	// Detail locates the breakage.
 	Detail string
@@ -93,16 +93,18 @@ func (c *Checker) Check(phys *mem.PhysMem, tables map[int]*pagetable.Table, mv *
 	c.stamp++
 	stamp := c.stamp
 
-	// 1. Tier conservation: used + free == capacity, per tier.
+	// 1. Tier conservation: used + free + shadow == capacity, per tier.
+	// Shadow frames are the transactional mover's third allocator
+	// state — not free, not mapped — and must still be conserved.
 	totalUsed := 0
 	for t := 0; t < phys.Tiers(); t++ {
 		id := mem.TierID(t)
-		used, free := phys.UsedFrames(id), phys.FreeFrames(id)
+		used, free, shadow := phys.UsedFrames(id), phys.FreeFrames(id), phys.ShadowFrames(id)
 		cap := phys.TierSpecOf(id).Frames
 		totalUsed += used
-		if used+free != cap {
-			add("tier-conservation", "tier %d (%s): used %d + free %d != capacity %d",
-				t, phys.TierSpecOf(id).Name, used, free, cap)
+		if used+free+shadow != cap {
+			add("tier-conservation", "tier %d (%s): used %d + free %d + shadow %d != capacity %d",
+				t, phys.TierSpecOf(id).Name, used, free, shadow, cap)
 		}
 	}
 
@@ -184,13 +186,66 @@ func (c *Checker) Check(phys *mem.PhysMem, tables map[int]*pagetable.Table, mv *
 		})
 	}
 
-	// 5. Mover accounting: the per-reason counters partition the
-	// aggregate, retry outcomes never exceed attempts, and the queue
-	// respects its bound.
+	// 5. Shadow conservation: shadow frames and shadowed primaries form
+	// a bijection — every shadow's link names an allocated primary in a
+	// faster tier that links back and agrees on page identity — and the
+	// per-tier shadow counters match the flags. The pass walks the raw
+	// frame array rather than ForEachShadow so a counter drifting to
+	// zero cannot hide flagged frames from the check.
+	shadowSeen := make(map[mem.TierID]int)
+	for pfn := mem.PFN(0); int(pfn) < total; pfn++ {
+		spd := phys.Page(pfn)
+		if spd.Flags&mem.FlagShadow == 0 {
+			continue
+		}
+		shadowSeen[spd.Tier]++
+		if c.owner[pfn].stamp == stamp {
+			add("shadow-conservation", "shadow PFN %d is mapped by pid %d vpn %#x",
+				pfn, c.owner[pfn].pid, uint64(c.owner[pfn].vpn))
+			continue
+		}
+		primary := phys.Page(spd.ShadowLink)
+		switch {
+		case !primary.Allocated() || primary.Flags&mem.FlagShadowed == 0:
+			add("shadow-conservation", "shadow PFN %d links to PFN %d which is not a shadowed primary",
+				pfn, spd.ShadowLink)
+		case primary.ShadowLink != pfn:
+			add("shadow-conservation", "shadow PFN %d links to PFN %d whose shadow link is PFN %d",
+				pfn, spd.ShadowLink, primary.ShadowLink)
+		case primary.PID != spd.PID || primary.VPage != spd.VPage:
+			add("shadow-conservation", "shadow PFN %d (pid %d vpn %#x) disagrees with primary PFN %d (pid %d vpn %#x)",
+				pfn, spd.PID, uint64(spd.VPage), primary.Frame, primary.PID, uint64(primary.VPage))
+		case primary.Tier >= spd.Tier:
+			add("shadow-conservation", "shadow PFN %d in tier %d is not slower than its primary PFN %d in tier %d",
+				pfn, spd.Tier, primary.Frame, primary.Tier)
+		}
+	}
+	phys.ForEachAllocated(func(pd *mem.PageDescriptor) {
+		if pd.Flags&mem.FlagShadowed != 0 && phys.Page(pd.ShadowLink).Flags&mem.FlagShadow == 0 {
+			add("shadow-conservation", "shadowed primary PFN %d links to PFN %d which holds no shadow",
+				pd.Frame, pd.ShadowLink)
+		}
+	})
+	for t := 0; t < phys.Tiers(); t++ {
+		id := mem.TierID(t)
+		if got := phys.ShadowFrames(id); got != shadowSeen[id] {
+			add("shadow-conservation", "tier %d shadow counter says %d frames, flags say %d",
+				t, got, shadowSeen[id])
+		}
+	}
+
+	// 6. Mover accounting: the per-reason counters partition the
+	// aggregate, transaction outcomes partition transaction starts,
+	// retry outcomes never exceed attempts, and the queue respects its
+	// bound.
 	if mv != nil {
-		if sum := mv.FailedCapacity + mv.FailedPinned + mv.FailedVanished + mv.FailedSplit; sum != mv.Failed {
-			add("mover-accounting", "Failed %d != capacity %d + pinned %d + vanished %d + split %d",
-				mv.Failed, mv.FailedCapacity, mv.FailedPinned, mv.FailedVanished, mv.FailedSplit)
+		if sum := mv.FailedCapacity + mv.FailedPinned + mv.FailedVanished + mv.FailedSplit + mv.AbortedDirty; sum != mv.Failed {
+			add("mover-accounting", "Failed %d != capacity %d + pinned %d + vanished %d + split %d + aborted %d",
+				mv.Failed, mv.FailedCapacity, mv.FailedPinned, mv.FailedVanished, mv.FailedSplit, mv.AbortedDirty)
+		}
+		if sum := mv.TxCommitted + mv.AbortedDirty + mv.TxRemapFailed; sum != mv.TxStarted {
+			add("mover-accounting", "TxStarted %d != committed %d + aborted-dirty %d + remap-failed %d",
+				mv.TxStarted, mv.TxCommitted, mv.AbortedDirty, mv.TxRemapFailed)
 		}
 		if mv.RetrySucceeded > mv.Retried {
 			add("mover-accounting", "RetrySucceeded %d > Retried %d", mv.RetrySucceeded, mv.Retried)

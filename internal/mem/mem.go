@@ -66,6 +66,17 @@ const (
 	// FlagPoisoned marks frames whose PTE carries the BadgerTrap
 	// reserved-bit poison used by the emulation framework.
 	FlagPoisoned
+	// FlagShadow marks a frame holding a non-exclusive shadow copy of a
+	// page promoted out of this tier (the Nomad model). Shadow frames
+	// are neither allocated nor free: they back no mapping, but a
+	// demotion back to this tier can adopt one with a remap and zero
+	// copy work. ShadowLink names the allocated primary frame.
+	FlagShadow
+	// FlagShadowed marks an allocated frame whose page still has a
+	// valid shadow copy in a slower tier; ShadowLink names the shadow
+	// frame. Cleared when the page is written (the copy goes stale) or
+	// the shadow frame is reclaimed for an allocation.
+	FlagShadowed
 )
 
 // PageDescriptor is the per-frame metadata record. TMP accumulates
@@ -78,6 +89,12 @@ type PageDescriptor struct {
 	PID   int // owning process, -1 when free
 	VPage VPN // virtual page currently mapped to this frame
 	Flags PageFlags
+
+	// ShadowLink pairs a shadowed primary with its shadow frame:
+	// on a FlagShadowed frame it names the shadow, on a FlagShadow
+	// frame it names the primary. Meaningless unless one of those
+	// flags is set.
+	ShadowLink PFN
 
 	// Profiling state (the paper's extended struct page).
 	AbitTotal  uint64 // A-bit observations, all time

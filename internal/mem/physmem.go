@@ -35,6 +35,14 @@ var (
 	// a migration (unmapped, remapped, or never mapped). Permanent —
 	// there is nothing left to move.
 	ErrUnmapped = errors.New("mem: page no longer mapped")
+	// ErrCopyAborted marks a transactional migration whose verify-clean
+	// phase found the page written mid-copy (the Nomad abort edge).
+	// Transient — the mover re-queues the transaction.
+	ErrCopyAborted = errors.New("mem: page dirtied mid-copy")
+	// ErrShadowStale marks a shadow copy that went stale at the moment
+	// a re-demotion tried to adopt it. The demotion itself proceeds on
+	// the full copy path; the sentinel classifies the fast-path miss.
+	ErrShadowStale = errors.New("mem: shadow copy stale")
 )
 
 // HugePages is the number of base frames in one 2 MiB huge page.
@@ -87,6 +95,10 @@ type tierState struct {
 	cursor    int // next-fit position for base pages
 	hugeCur   int // next-fit position (from top) for huge runs
 	inUse     int
+	// shadowCount tracks frames holding shadow copies: neither free
+	// nor in use. Conservation per tier is
+	// inUse + freeCount + shadowCount == len(free).
+	shadowCount int
 	// hiWater is one past the highest local index ever claimed: the
 	// dense allocated-PFN span the per-epoch walks cover. Frees do
 	// not lower it (the walks still check Allocated()), but base
@@ -105,10 +117,13 @@ type PhysMem struct {
 	pds   []PageDescriptor
 
 	// Telemetry counters; nil (free no-ops) when telemetry is off.
-	ctrAlloc     *telemetry.Counter
-	ctrAllocHuge *telemetry.Counter
-	ctrFree      *telemetry.Counter
-	ctrSpill     *telemetry.Counter
+	ctrAlloc         *telemetry.Counter
+	ctrAllocHuge     *telemetry.Counter
+	ctrFree          *telemetry.Counter
+	ctrSpill         *telemetry.Counter
+	ctrShadowMade    *telemetry.Counter
+	ctrShadowInvalid *telemetry.Counter
+	ctrShadowReclaim *telemetry.Counter
 
 	// faults, when non-nil, can fail AllocIn with transient pressure
 	// (SiteENOMEM). Demand allocation (Alloc/AllocHuge) is never
@@ -130,6 +145,9 @@ func (pm *PhysMem) SetTracer(t *telemetry.Tracer) {
 	pm.ctrAllocHuge = t.Counter("mem/alloc_huge")
 	pm.ctrFree = t.Counter("mem/free_frames")
 	pm.ctrSpill = t.Counter("mem/spill_frames")
+	pm.ctrShadowMade = t.Counter("mem/shadow_made")
+	pm.ctrShadowInvalid = t.Counter("mem/shadow_invalidated")
+	pm.ctrShadowReclaim = t.Counter("mem/shadow_reclaimed")
 }
 
 // NewPhysMem lays the tiers out back to back in a single PFN space
@@ -227,6 +245,7 @@ func (pm *PhysMem) claim(ts *tierState, local int, pid int, vpn VPN) PFN {
 	pd.PID = pid
 	pd.VPage = vpn
 	pd.Flags = FlagAllocated
+	pd.ShadowLink = 0
 	pd.AbitTotal, pd.TraceTotal = 0, 0
 	pd.AbitEpoch, pd.TraceEpoch = 0, 0
 	pd.DevTotal, pd.DevEpoch = 0, 0
@@ -236,10 +255,16 @@ func (pm *PhysMem) claim(ts *tierState, local int, pid int, vpn VPN) PFN {
 }
 
 // allocIn takes one free frame from a tier using the next-fit cursor.
+// When the tier is out of free frames but holds shadow copies, the
+// lowest-indexed shadow is reclaimed first: shadows are a cache of
+// clean page content and always lose to real allocation demand.
 func (pm *PhysMem) allocIn(ti int, pid int, vpn VPN) (PFN, bool) {
 	ts := &pm.tiers[ti]
 	if ts.freeCount == 0 {
-		return 0, false
+		if ts.shadowCount == 0 {
+			return 0, false
+		}
+		pm.reclaimShadowIn(ts)
 	}
 	n := len(ts.free)
 	for scanned := 0; scanned < n; scanned++ {
@@ -348,14 +373,21 @@ func (pm *PhysMem) allocHugeIn(ts *tierState, pid int, vpnBase VPN, from int) (P
 	return 0, false
 }
 
-// Free returns a frame to its tier's free bitmap.
+// Free returns a frame to its tier's free bitmap. Freeing a shadowed
+// primary drops its shadow too — the page's identity is gone, so the
+// shadow backs nothing. Shadow frames themselves are not Allocated and
+// must go through the shadow lifecycle, never Free.
 func (pm *PhysMem) Free(pfn PFN) {
 	pd := &pm.pds[pfn]
 	if !pd.Allocated() {
 		panic(fmt.Sprintf("mem: double free of PFN %d", pfn))
 	}
+	if pd.Flags&FlagShadowed != 0 {
+		pm.dropShadow(pd.ShadowLink)
+	}
 	pd.Flags = 0
 	pd.PID = -1
+	pd.ShadowLink = 0
 	ts := &pm.tiers[pd.Tier]
 	local := int(pfn - ts.base)
 	ts.free[local] = true
@@ -403,6 +435,165 @@ func (pm *PhysMem) ResetEpochAll() {
 		for i := lo; i < lo+ts.hiWater; i++ {
 			if pm.pds[i].Allocated() {
 				pm.pds[i].ResetEpoch()
+			}
+		}
+	}
+}
+
+// Shadow copies (the Nomad model, "Non-Exclusive Memory Tiering via
+// Transactional Page Migration"). When the transactional mover
+// promotes a page, the vacated slow-tier frame is kept as a shadow
+// instead of being freed: as long as the page stays clean, demoting it
+// back to that tier is a remap with zero copy work. A shadow frame is
+// a third allocator state — not free (an allocation may not take it
+// while valid, except under pressure), not in use (it backs no
+// mapping). The CPU's write path invalidates a shadow on the page's
+// first dirtying store (NoteWrite), and the fault plane can invalidate
+// one at adoption time (SiteShadowStale, drawn by the mover).
+
+// ShadowFrames returns the number of frames in a tier holding shadow
+// copies.
+func (pm *PhysMem) ShadowFrames(t TierID) int { return pm.tiers[t].shadowCount }
+
+// MakeShadow converts the just-vacated frame of a promoted page into a
+// shadow of its new primary frame. Any older shadow the page still had
+// (from a promotion out of a deeper tier) is superseded and dropped.
+// The caller has already copied the page's state to newPFN and
+// remapped; oldPFN must still be Allocated.
+func (pm *PhysMem) MakeShadow(oldPFN, newPFN PFN) {
+	old := &pm.pds[oldPFN]
+	if !old.Allocated() {
+		panic(fmt.Sprintf("mem: MakeShadow on unallocated PFN %d", oldPFN))
+	}
+	if old.Flags&FlagShadowed != 0 {
+		pm.dropShadow(old.ShadowLink)
+		pm.ctrShadowInvalid.Add(1)
+	}
+	old.Flags = FlagShadow
+	old.ShadowLink = newPFN
+	ts := &pm.tiers[old.Tier]
+	ts.inUse--
+	ts.shadowCount++
+	pd := &pm.pds[newPFN]
+	pd.Flags |= FlagShadowed
+	pd.ShadowLink = oldPFN
+	pm.ctrShadowMade.Add(1)
+}
+
+// ShadowFor returns the frame holding a valid shadow of pfn's page in
+// tier t, if one exists.
+func (pm *PhysMem) ShadowFor(pfn PFN, t TierID) (PFN, bool) {
+	pd := &pm.pds[pfn]
+	if pd.Flags&FlagShadowed == 0 {
+		return 0, false
+	}
+	if spfn := pd.ShadowLink; pm.pds[spfn].Tier == t {
+		return spfn, true
+	}
+	return 0, false
+}
+
+// AdoptShadow turns the shadow of pfn's page back into the page's
+// primary frame: the shadow frame becomes Allocated carrying the
+// page's profiling state, the old primary loses its shadowed mark, and
+// the adopted PFN is returned. The caller remaps the page to it and
+// frees the old primary — no copy happens, which is the entire point.
+func (pm *PhysMem) AdoptShadow(pfn PFN) PFN {
+	pd := &pm.pds[pfn]
+	if pd.Flags&FlagShadowed == 0 {
+		panic(fmt.Sprintf("mem: AdoptShadow on unshadowed PFN %d", pfn))
+	}
+	spfn := pd.ShadowLink
+	spd := &pm.pds[spfn]
+	spd.PID = pd.PID
+	spd.VPage = pd.VPage
+	spd.Flags = FlagAllocated | (pd.Flags & FlagPoisoned)
+	spd.ShadowLink = 0
+	spd.AbitTotal, spd.TraceTotal = pd.AbitTotal, pd.TraceTotal
+	spd.AbitEpoch, spd.TraceEpoch = pd.AbitEpoch, pd.TraceEpoch
+	spd.WriteTotal, spd.WriteEpoch = pd.WriteTotal, pd.WriteEpoch
+	spd.DevTotal, spd.DevEpoch = pd.DevTotal, pd.DevEpoch
+	spd.TrueTotal, spd.TrueEpoch = pd.TrueTotal, pd.TrueEpoch
+	pd.Flags &^= FlagShadowed
+	pd.ShadowLink = 0
+	ts := &pm.tiers[spd.Tier]
+	ts.inUse++
+	ts.shadowCount--
+	return spfn
+}
+
+// InvalidateShadowOf drops the shadow of pfn's page, if any: the copy
+// no longer matches the page content (a write landed, or the fault
+// plane said so).
+func (pm *PhysMem) InvalidateShadowOf(pfn PFN) {
+	pd := &pm.pds[pfn]
+	if pd.Flags&FlagShadowed == 0 {
+		return
+	}
+	pm.dropShadow(pd.ShadowLink)
+	pd.Flags &^= FlagShadowed
+	pd.ShadowLink = 0
+	pm.ctrShadowInvalid.Add(1)
+}
+
+// NoteWrite is the CPU write path's hook, called on every D-bit 0→1
+// transition: the first store to a clean page makes any shadow of it
+// stale. A page without a shadow costs one flag test.
+func (pm *PhysMem) NoteWrite(pfn PFN) {
+	if pm.pds[pfn].Flags&FlagShadowed != 0 {
+		pm.InvalidateShadowOf(pfn)
+	}
+}
+
+// dropShadow returns a shadow frame to the free bitmap. The caller
+// owns the primary's FlagShadowed bookkeeping.
+func (pm *PhysMem) dropShadow(spfn PFN) {
+	spd := &pm.pds[spfn]
+	if spd.Flags&FlagShadow == 0 {
+		panic(fmt.Sprintf("mem: dropShadow on non-shadow PFN %d", spfn))
+	}
+	spd.Flags = 0
+	spd.PID = -1
+	spd.ShadowLink = 0
+	ts := &pm.tiers[spd.Tier]
+	ts.free[int(spfn-ts.base)] = true
+	ts.freeCount++
+	ts.shadowCount--
+}
+
+// reclaimShadowIn frees the lowest-indexed shadow frame in a tier to
+// satisfy allocation pressure, clearing the primary's shadowed mark.
+// Lowest index first is arbitrary but fixed — reclaim order must be a
+// pure function of allocator state for byte-identical replays.
+func (pm *PhysMem) reclaimShadowIn(ts *tierState) {
+	for i := 0; i < ts.hiWater; i++ {
+		spfn := ts.base + PFN(i)
+		spd := &pm.pds[spfn]
+		if spd.Flags&FlagShadow == 0 {
+			continue
+		}
+		primary := &pm.pds[spd.ShadowLink]
+		primary.Flags &^= FlagShadowed
+		primary.ShadowLink = 0
+		pm.dropShadow(spfn)
+		pm.ctrShadowReclaim.Add(1)
+		return
+	}
+	panic("mem: reclaimShadowIn found no shadow despite shadowCount > 0")
+}
+
+// ForEachShadow invokes fn for every shadow frame, ascending PFN; the
+// invariant checker uses it to verify shadow-frame conservation.
+func (pm *PhysMem) ForEachShadow(fn func(*PageDescriptor)) {
+	for t := range pm.tiers {
+		ts := &pm.tiers[t]
+		if ts.shadowCount == 0 {
+			continue
+		}
+		lo := int(ts.base)
+		for i := lo; i < lo+ts.hiWater; i++ {
+			if pm.pds[i].Flags&FlagShadow != 0 {
+				fn(&pm.pds[i])
 			}
 		}
 	}

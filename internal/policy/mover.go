@@ -9,6 +9,7 @@ import (
 	"tieredmem/internal/cpu"
 	"tieredmem/internal/fault"
 	"tieredmem/internal/mem"
+	"tieredmem/internal/pagetable"
 	"tieredmem/internal/provenance"
 	"tieredmem/internal/telemetry"
 )
@@ -58,6 +59,21 @@ type Mover struct {
 	// would overflow it are dropped (counted in RetryDropped), not
 	// queued — a mover drowning in failures must not hoard memory.
 	RetryQueueCap int
+	// Transactional switches migrate to the multi-phase transaction
+	// engine (claim → copy-while-mapped → verify-clean → remap), with
+	// dirty-copy aborts re-queued through the retry queue and the
+	// vacated frame of a promotion kept as a non-exclusive shadow copy
+	// (see ROBUSTNESS.md "The migration transaction"). Off by default:
+	// the legacy single-phase path is byte-identical to pre-engine
+	// movers.
+	Transactional bool
+	// AdmissionBudgetNS, when positive, gates the migration stream: an
+	// epoch may spend at most this much simulated migration bandwidth
+	// (ns of line copies priced from the tier chain's latency points,
+	// see PageCopyCostNS). Migrations past the budget are deferred into
+	// the retry queue, or rejected outright when it is full. 0 admits
+	// everything without drawing or counting.
+	AdmissionBudgetNS int64
 
 	// Stats.
 	Promotions uint64
@@ -67,7 +83,7 @@ type Mover struct {
 	OverheadNS int64
 	// Failed aggregates every migration failure; the per-reason
 	// counters below partition it (Failed = Capacity + Pinned +
-	// Vanished + Split).
+	// Vanished + Split + AbortedDirty).
 	Failed         uint64
 	FailedCapacity uint64 // target tier had no frame (mem.ErrTierFull)
 	FailedPinned   uint64 // page transiently pinned (mem.ErrPinned)
@@ -82,10 +98,39 @@ type Mover struct {
 	RetrySucceeded  uint64
 	RetrySuperseded uint64
 	RetryDropped    uint64
+	// Transaction accounting (Transactional mode only). Every claimed
+	// transaction resolves exactly one way:
+	// TxStarted = TxCommitted + AbortedDirty + TxRemapFailed.
+	TxStarted    uint64
+	TxCommitted  uint64
+	AbortedDirty uint64 // verify-clean found the page written mid-copy
+	// TxRemapFailed: the mapping vanished between claim and remap;
+	// counted under FailedVanished in the failure partition.
+	TxRemapFailed uint64
+	// Shadow-copy accounting: ShadowHits are demotions satisfied by
+	// remapping to a still-valid shadow (zero copy work); ShadowStale
+	// counts adoptions abandoned because the fault plane invalidated
+	// the shadow at the last moment (the demotion then pays the full
+	// copy path).
+	ShadowHits  uint64
+	ShadowStale uint64
+	// Admission accounting (AdmissionBudgetNS > 0 only). Admitted* are
+	// migrations charged against the epoch budget; DeferredAdmission
+	// were pushed to the retry queue for the next epoch; Rejected* were
+	// dropped because the queue was full too.
+	AdmittedPromotions uint64
+	AdmittedDemotions  uint64
+	DeferredAdmission  uint64
+	RejectedPromotions uint64
+	RejectedDemotions  uint64
 
 	epoch   uint64
 	retries []retryEntry
 	charged int64 // portion of OverheadNS already charged to MoverCore
+	// Per-direction admission spend this epoch; each direction owns
+	// half of AdmissionBudgetNS (see admit).
+	admSpentPromote int64
+	admSpentDemote  int64
 
 	// faults, when non-nil, can pin pages and fail splits (AllocIn
 	// pressure is injected inside mem.PhysMem).
@@ -113,6 +158,16 @@ type Mover struct {
 	ctrRetryOK   *telemetry.Counter
 	ctrRetryDrop *telemetry.Counter
 	ctrOverhead  *telemetry.Counter
+	ctrTxStart   *telemetry.Counter
+	ctrTxCommit  *telemetry.Counter
+	ctrTxAbort   *telemetry.Counter
+	ctrShadowHit *telemetry.Counter
+	ctrShadowSta *telemetry.Counter
+	ctrAdmProm   *telemetry.Counter
+	ctrAdmDem    *telemetry.Counter
+	ctrAdmDefer  *telemetry.Counter
+	ctrRejProm   *telemetry.Counter
+	ctrRejDem    *telemetry.Counter
 	histRetryLat *telemetry.Histogram
 	histInter    *telemetry.Histogram
 }
@@ -150,6 +205,16 @@ func (mv *Mover) SetTracer(t *telemetry.Tracer) {
 	mv.ctrRetryOK = t.Counter("mover/retry_succeeded")
 	mv.ctrRetryDrop = t.Counter("mover/retry_dropped")
 	mv.ctrOverhead = t.Counter("mover/overhead_ns")
+	mv.ctrTxStart = t.Counter("mover/tx_started")
+	mv.ctrTxCommit = t.Counter("mover/tx_committed")
+	mv.ctrTxAbort = t.Counter("mover/aborted_dirty")
+	mv.ctrShadowHit = t.Counter("mover/shadow_hits")
+	mv.ctrShadowSta = t.Counter("mover/shadow_stale")
+	mv.ctrAdmProm = t.Counter("mover/admitted_promotions")
+	mv.ctrAdmDem = t.Counter("mover/admitted_demotions")
+	mv.ctrAdmDefer = t.Counter("mover/deferred_admission")
+	mv.ctrRejProm = t.Counter("mover/rejected_promotions")
+	mv.ctrRejDem = t.Counter("mover/rejected_demotions")
 	mv.histRetryLat = t.Histogram("mover/retry_latency_epochs")
 	mv.histInter = t.Histogram("mover/interarrival_ns")
 }
@@ -212,6 +277,9 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 		// Transient elevated refcount (DMA, gup) — the EBUSY case.
 		return fmt.Errorf("policy: page pid=%d vpn=%#x transiently busy: %w", key.PID, uint64(key.VPN), mem.ErrPinned)
 	}
+	if mv.Transactional {
+		return mv.migrateTx(table, key, target, oldPFN)
+	}
 	newPFN, err := phys.AllocIn(target, key.PID, key.VPN)
 	if err != nil {
 		return err
@@ -234,6 +302,85 @@ func (mv *Mover) migrate(key core.PageKey, target mem.TierID) error {
 	return nil
 }
 
+// migrateTx is the transactional migration engine (the Nomad model):
+// the page stays mapped and accessible for the whole copy, and the
+// transaction only publishes the new frame after verifying the copy is
+// still clean. The phases are
+//
+//	claim      — allocate the target frame (abort: nothing happened)
+//	copy       — copy content while the page stays mapped; this is
+//	             the work the admission budget prices
+//	verify     — deterministic dirty-check against the fault plane:
+//	             a page written mid-copy aborts with ErrCopyAborted
+//	             and the caller re-queues the transaction
+//	remap      — publish the new frame (the batch shootdown makes it
+//	             globally visible at epoch end)
+//	release    — free the source frame; a promotion keeps it as a
+//	             non-exclusive shadow copy instead, so demoting the
+//	             still-clean page back is a remap with zero copy work
+//
+// A demotion whose page still has a valid shadow in the target tier
+// skips the copy entirely and adopts the shadow (drawing the
+// shadow-stale site first: an invalidated shadow degrades to the full
+// transaction). The caller has already resolved the mapping, split any
+// huge page, and cleared the pinned checks.
+func (mv *Mover) migrateTx(table *pagetable.Table, key core.PageKey, target mem.TierID, oldPFN mem.PFN) error {
+	phys := mv.machine.Phys
+	oldPD := phys.Page(oldPFN)
+	promote := target < oldPD.Tier
+	if !promote {
+		if spfn, ok := phys.ShadowFor(oldPFN, target); ok {
+			if mv.faults.StaleShadow() {
+				// The shadow went stale at the worst moment; pay the
+				// full copy below.
+				phys.InvalidateShadowOf(oldPFN)
+				mv.ShadowStale++
+			} else {
+				if !table.Remap(key.VPN, spfn) {
+					return fmt.Errorf("policy: remap failed for pid=%d vpn=%#x: %w", key.PID, uint64(key.VPN), mem.ErrUnmapped)
+				}
+				phys.AdoptShadow(oldPFN)
+				phys.Free(oldPFN)
+				mv.ShadowHits++
+				// Zero copy work: no CostPerPageNS charge. The epoch's
+				// batch shootdown covers the remap.
+				return nil
+			}
+		}
+	}
+	newPFN, err := phys.AllocIn(target, key.PID, key.VPN)
+	if err != nil {
+		return err
+	}
+	mv.TxStarted++
+	// The copy happens (and is paid for) before the dirty-check: an
+	// aborted transaction has burned real bandwidth, which is exactly
+	// why aborts hurt and admission budgets matter.
+	mv.OverheadNS += mv.machine.SoftCost(mv.CostPerPageNS)
+	if mv.faults.DirtyCopy() {
+		phys.Free(newPFN)
+		return fmt.Errorf("policy: page pid=%d vpn=%#x dirtied mid-copy: %w", key.PID, uint64(key.VPN), mem.ErrCopyAborted)
+	}
+	newPD := phys.Page(newPFN)
+	newPD.AbitTotal, newPD.TraceTotal = oldPD.AbitTotal, oldPD.TraceTotal
+	newPD.AbitEpoch, newPD.TraceEpoch = oldPD.AbitEpoch, oldPD.TraceEpoch
+	newPD.DevTotal, newPD.DevEpoch = oldPD.DevTotal, oldPD.DevEpoch
+	newPD.TrueTotal, newPD.TrueEpoch = oldPD.TrueTotal, oldPD.TrueEpoch
+	newPD.Flags |= oldPD.Flags & mem.FlagPoisoned
+	if !table.Remap(key.VPN, newPFN) {
+		phys.Free(newPFN)
+		mv.TxRemapFailed++
+		return fmt.Errorf("policy: remap failed for pid=%d vpn=%#x: %w", key.PID, uint64(key.VPN), mem.ErrUnmapped)
+	}
+	mv.TxCommitted++
+	if promote {
+		phys.MakeShadow(oldPFN, newPFN)
+	} else {
+		phys.Free(oldPFN)
+	}
+	return nil
+}
+
 // noteFailure classifies a migration error into the per-reason
 // counters and reports whether it is transient (worth a deferred
 // retry) plus the provenance reason. Unrecognized errors count as
@@ -250,6 +397,9 @@ func (mv *Mover) noteFailure(err error) (bool, provenance.FailReason) {
 	case errors.Is(err, ErrSplitFailed):
 		mv.FailedSplit++
 		return true, provenance.FailSplit
+	case errors.Is(err, mem.ErrCopyAborted):
+		mv.AbortedDirty++
+		return true, provenance.FailCopyAbort
 	default:
 		mv.FailedVanished++
 		return false, provenance.FailVanished
@@ -354,6 +504,8 @@ func (mv *Mover) retryTarget(key core.PageKey, promote bool, last mem.TierID) me
 // demoted), retries included.
 func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	mv.epoch++
+	mv.admSpentPromote, mv.admSpentDemote = 0, 0 // the admission budget is per-epoch
+	gated := mv.admissionGated()
 	phys := mv.machine.Phys
 	nt := phys.Tiers()
 	last := mem.TierID(nt - 1)
@@ -394,8 +546,14 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		}
 		for _, e := range due {
 			queuedKeys[e.key] = struct{}{}
-			mv.Retried++
 			target := mv.retryTarget(e.key, e.promote, last)
+			if gated && !mv.admit(e.promote, mv.migrationCostNS(e.key, target)) {
+				// Not an attempt — the bus was busy, the entry waits
+				// another epoch with its attempt count intact.
+				mv.deferAdmission(e.key, e.promote, e.attempts, e.firstFail)
+				continue
+			}
+			mv.Retried++
 			if err := mv.migrate(e.key, target); err != nil {
 				mv.failAndMaybeRetry(e.key, e.promote, err, e.attempts+1, e.firstFail)
 				continue
@@ -474,6 +632,10 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 			continue
 		}
 		for _, cand := range core.TopKFunc(demoteByTier[t], plan[t], coldest) {
+			if gated && !mv.admit(false, mv.migrationCostNS(cand.key, mem.TierID(t)+1)) {
+				mv.deferAdmission(cand.key, false, 0, mv.epoch)
+				continue
+			}
 			if err := mv.migrate(cand.key, mem.TierID(t)+1); err != nil {
 				mv.failAndMaybeRetry(cand.key, false, err, 1, mv.epoch)
 				continue
@@ -521,6 +683,10 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 			cand = rest[j]
 		}
 		next++
+		if gated && !mv.admit(false, mv.migrationCostNS(cand.key, mem.SlowTier)) {
+			mv.deferAdmission(cand.key, false, 0, mv.epoch)
+			continue
+		}
 		if err := mv.migrate(cand.key, mem.SlowTier); err != nil {
 			mv.failAndMaybeRetry(cand.key, false, err, 1, mv.epoch)
 			continue
@@ -529,6 +695,10 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		mv.noteSuccess(cand.key, false, mem.SlowTier)
 	}
 	for _, key := range promote {
+		if gated && !mv.admit(true, mv.migrationCostNS(key, mem.FastTier)) {
+			mv.deferAdmission(key, true, 0, mv.epoch)
+			continue
+		}
 		if phys.FreeFrames(mem.FastTier) == 0 {
 			mv.Failed++
 			mv.FailedCapacity++
@@ -555,6 +725,10 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 	// Empty on a two-tier machine.
 	for t := mem.TierID(2); t <= last; t++ {
 		for _, key := range promoteByTier[t] {
+			if gated && !mv.admit(true, mv.migrationCostNS(key, t-1)) {
+				mv.deferAdmission(key, true, 0, mv.epoch)
+				continue
+			}
 			if phys.FreeFrames(t-1) == 0 {
 				mv.Failed++
 				mv.FailedCapacity++
@@ -599,6 +773,16 @@ func (mv *Mover) ApplySelection(sel Selection, ranks core.Ranks) (int, int) {
 		mv.ctrRetryOK.Set(mv.RetrySucceeded)
 		mv.ctrRetryDrop.Set(mv.RetryDropped)
 		mv.ctrOverhead.Set(uint64(mv.OverheadNS))
+		mv.ctrTxStart.Set(mv.TxStarted)
+		mv.ctrTxCommit.Set(mv.TxCommitted)
+		mv.ctrTxAbort.Set(mv.AbortedDirty)
+		mv.ctrShadowHit.Set(mv.ShadowHits)
+		mv.ctrShadowSta.Set(mv.ShadowStale)
+		mv.ctrAdmProm.Set(mv.AdmittedPromotions)
+		mv.ctrAdmDem.Set(mv.AdmittedDemotions)
+		mv.ctrAdmDefer.Set(mv.DeferredAdmission)
+		mv.ctrRejProm.Set(mv.RejectedPromotions)
+		mv.ctrRejDem.Set(mv.RejectedDemotions)
 	}
 	return promoted, demoted
 }

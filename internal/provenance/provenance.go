@@ -68,6 +68,13 @@ const (
 	// VerdictHeld: selected with sufficient rank, but the mover never
 	// attempted the page this epoch (e.g. pinned non-migratable).
 	VerdictHeld
+	// VerdictDeferredAdmission: the admission controller's per-epoch
+	// bandwidth budget was exhausted; the migration sits in the retry
+	// queue for the next epoch.
+	VerdictDeferredAdmission
+	// VerdictRejectedAdmission: admission denied the migration and the
+	// retry queue was full — the migration is dropped outright.
+	VerdictRejectedAdmission
 )
 
 // FailReason classifies a failed migration, mirroring the mover's
@@ -85,6 +92,9 @@ const (
 	// FailVanished: the mapping disappeared mid-flight (mem.ErrUnmapped
 	// or an unrecognized error).
 	FailVanished
+	// FailCopyAbort: a transactional copy found the page dirtied
+	// mid-flight (mem.ErrCopyAborted).
+	FailCopyAbort
 )
 
 // String names the fail reason by the fault site that produces it.
@@ -98,6 +108,8 @@ func (f FailReason) String() string {
 		return "mem.splitfail"
 	case FailVanished:
 		return "vanished"
+	case FailCopyAbort:
+		return "mem.copyabort"
 	default:
 		return "none"
 	}
@@ -127,6 +139,10 @@ func (v Verdict) Reason(f FailReason) string {
 		return "failed:" + f.String()
 	case VerdictHeld:
 		return "held"
+	case VerdictDeferredAdmission:
+		return "deferred:admission"
+	case VerdictRejectedAdmission:
+		return "rejected:admission"
 	default:
 		return "none"
 	}
@@ -161,8 +177,14 @@ func verdictFromReason(s string) (Verdict, FailReason) {
 		return VerdictFailed, FailSplit
 	case "failed:vanished":
 		return VerdictFailed, FailVanished
+	case "failed:mem.copyabort":
+		return VerdictFailed, FailCopyAbort
 	case "failed:none":
 		return VerdictFailed, FailNone
+	case "deferred:admission":
+		return VerdictDeferredAdmission, FailNone
+	case "rejected:admission":
+		return VerdictRejectedAdmission, FailNone
 	default:
 		return VerdictNone, FailNone
 	}
@@ -456,6 +478,33 @@ func (r *Recorder) NoteDeferred(key core.PageKey) {
 		return
 	}
 	rec.Verdict = VerdictDeferred
+}
+
+// NoteDeferredAdmission records a migration the admission controller
+// pushed into the retry queue: the epoch's bandwidth budget ran out
+// before the page's turn.
+func (r *Recorder) NoteDeferredAdmission(key core.PageKey) {
+	if r == nil {
+		return
+	}
+	_, rec := r.note(key)
+	if rec.Verdict == VerdictPromoted || rec.Verdict == VerdictDemoted {
+		return
+	}
+	rec.Verdict = VerdictDeferredAdmission
+}
+
+// NoteRejectedAdmission records a migration dropped outright: the
+// admission budget was exhausted and the retry queue was full.
+func (r *Recorder) NoteRejectedAdmission(key core.PageKey) {
+	if r == nil {
+		return
+	}
+	_, rec := r.note(key)
+	if rec.Verdict == VerdictPromoted || rec.Verdict == VerdictDemoted {
+		return
+	}
+	rec.Verdict = VerdictRejectedAdmission
 }
 
 // NoteSuperseded records a queued retry dropped because the selection

@@ -357,8 +357,8 @@ func TestRenderTables(t *testing.T) {
 // TestReasonRoundTrip pins the verdict-reason taxonomy: every verdict
 // string maps back to the verdict that produced it.
 func TestReasonRoundTrip(t *testing.T) {
-	fails := []FailReason{FailNone, FailCapacity, FailPinned, FailSplit, FailVanished}
-	for v := VerdictPromoted; v <= VerdictHeld; v++ {
+	fails := []FailReason{FailNone, FailCapacity, FailPinned, FailSplit, FailVanished, FailCopyAbort}
+	for v := VerdictPromoted; v <= VerdictRejectedAdmission; v++ {
 		for _, f := range fails {
 			if v != VerdictFailed && f != FailNone {
 				continue

@@ -72,6 +72,10 @@ func placementDump(res PlacementResult) string {
 		res.Failed, res.FailedCapacity, res.FailedPinned, res.FailedVanished, res.FailedSplit,
 		res.Retried, res.RetrySucceeded, res.RetrySuperseded, res.RetryDropped,
 		res.FaultsInjected, res.Quarantined)
+	fmt.Fprintf(&b, "tx=%d txok=%d abort=%d shadow=%d stale=%d admp=%d admd=%d defer=%d rejp=%d rejd=%d\n",
+		res.TxStarted, res.TxCommitted, res.AbortedDirty, res.ShadowHits, res.ShadowStale,
+		res.AdmittedPromotions, res.AdmittedDemotions, res.DeferredAdmission,
+		res.RejectedPromotions, res.RejectedDemotions)
 	return b.String()
 }
 

@@ -69,6 +69,16 @@ type PlacementConfig struct {
 	// conservation, mapping bijection, mover accounting) after every
 	// placement pass; it is forced on whenever Faults can inject.
 	Invariants bool
+	// TxMigration switches the mover to the transactional engine:
+	// multi-phase migrations (claim, copy-while-mapped, verify-clean,
+	// remap) that abort on a mid-copy write, plus non-exclusive shadow
+	// copies making the re-demotion of a clean page a zero-copy remap.
+	// Off runs the legacy single-phase mover bit-for-bit.
+	TxMigration bool
+	// AdmissionFrac bounds per-epoch migration traffic to this fraction
+	// of EpochNS worth of simulated line-transfer time (the bandwidth
+	// admission controller). <= 0 disables admission control.
+	AdmissionFrac float64
 }
 
 // DefaultPlacementConfig mirrors DefaultConfig for placement runs.
@@ -152,6 +162,19 @@ type PlacementResult struct {
 	RetrySuperseded uint64
 	RetryDropped    uint64
 	FaultsInjected  uint64
+	// Transactional-migration accounting (all zero unless TxMigration):
+	// transaction outcomes, shadow-copy hits, and the admission
+	// controller's decisions (the latter all zero unless AdmissionFrac).
+	TxStarted          uint64
+	TxCommitted        uint64
+	AbortedDirty       uint64
+	ShadowHits         uint64
+	ShadowStale        uint64
+	AdmittedPromotions uint64
+	AdmittedDemotions  uint64
+	DeferredAdmission  uint64
+	RejectedPromotions uint64
+	RejectedDemotions  uint64
 	// Quarantined lists mechanisms the profiler permanently disabled,
 	// in fixed (ibs, abit, hwpc, devprof) order.
 	Quarantined []string
@@ -226,6 +249,8 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 			prof.Register(pid)
 		}
 		mover = policy.NewMover(m)
+		mover.Transactional = cfg.TxMigration
+		mover.AdmissionBudgetNS = policy.AdmissionBudgetNS(cfg.EpochNS, cfg.AdmissionFrac)
 		if cfg.Tracer.Enabled() {
 			prof.SetTracer(cfg.Tracer)
 			mover.SetTracer(cfg.Tracer)
@@ -386,6 +411,16 @@ func RunPlacement(cfg PlacementConfig, w workload.Workload) (PlacementResult, er
 		res.RetrySucceeded = mover.RetrySucceeded
 		res.RetrySuperseded = mover.RetrySuperseded
 		res.RetryDropped = mover.RetryDropped
+		res.TxStarted = mover.TxStarted
+		res.TxCommitted = mover.TxCommitted
+		res.AbortedDirty = mover.AbortedDirty
+		res.ShadowHits = mover.ShadowHits
+		res.ShadowStale = mover.ShadowStale
+		res.AdmittedPromotions = mover.AdmittedPromotions
+		res.AdmittedDemotions = mover.AdmittedDemotions
+		res.DeferredAdmission = mover.DeferredAdmission
+		res.RejectedPromotions = mover.RejectedPromotions
+		res.RejectedDemotions = mover.RejectedDemotions
 	}
 	if prof != nil {
 		res.Quarantined = prof.QuarantinedMechanisms()

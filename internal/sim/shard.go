@@ -359,6 +359,16 @@ func RunShardedPlacement(scfg ShardedPlacementConfig, mk func() workload.Workloa
 		sres.RetrySucceeded += r.RetrySucceeded
 		sres.RetrySuperseded += r.RetrySuperseded
 		sres.RetryDropped += r.RetryDropped
+		sres.TxStarted += r.TxStarted
+		sres.TxCommitted += r.TxCommitted
+		sres.AbortedDirty += r.AbortedDirty
+		sres.ShadowHits += r.ShadowHits
+		sres.ShadowStale += r.ShadowStale
+		sres.AdmittedPromotions += r.AdmittedPromotions
+		sres.AdmittedDemotions += r.AdmittedDemotions
+		sres.DeferredAdmission += r.DeferredAdmission
+		sres.RejectedPromotions += r.RejectedPromotions
+		sres.RejectedDemotions += r.RejectedDemotions
 		sres.FaultsInjected += r.FaultsInjected
 		sres.Quarantined = prefixQuarantined(sres.Quarantined, scfg.Label, c, r.Quarantined)
 	}
@@ -397,6 +407,16 @@ func MergedFaultAttribution(planes []*fault.Plane, res PlacementResult) []report
 		report.FaultRow{Name: "mover/retry_succeeded", Value: res.RetrySucceeded},
 		report.FaultRow{Name: "mover/retry_superseded", Value: res.RetrySuperseded},
 		report.FaultRow{Name: "mover/retry_dropped", Value: res.RetryDropped},
+		report.FaultRow{Name: "mover/tx_started", Value: res.TxStarted},
+		report.FaultRow{Name: "mover/tx_committed", Value: res.TxCommitted},
+		report.FaultRow{Name: "mover/aborted_dirty", Value: res.AbortedDirty},
+		report.FaultRow{Name: "mover/shadow_hits", Value: res.ShadowHits},
+		report.FaultRow{Name: "mover/shadow_stale", Value: res.ShadowStale},
+		report.FaultRow{Name: "mover/admitted_promotions", Value: res.AdmittedPromotions},
+		report.FaultRow{Name: "mover/admitted_demotions", Value: res.AdmittedDemotions},
+		report.FaultRow{Name: "mover/deferred_admission", Value: res.DeferredAdmission},
+		report.FaultRow{Name: "mover/rejected_promotions", Value: res.RejectedPromotions},
+		report.FaultRow{Name: "mover/rejected_demotions", Value: res.RejectedDemotions},
 		report.FaultRow{Name: "quarantined_mechanisms", Value: uint64(len(res.Quarantined))},
 	)
 	return rows

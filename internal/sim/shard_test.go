@@ -140,8 +140,18 @@ func provDump(t *testing.T, lg provenance.Log) string {
 // given pool width, history/tmp arm, provenance and telemetry on.
 func runShardedPlacementOnce(t *testing.T, width int, spec fault.Spec) ShardedPlacementResult {
 	t.Helper()
+	return runShardedPlacementCfg(t, width, spec, nil)
+}
+
+// runShardedPlacementCfg is runShardedPlacementOnce with a base-config
+// hook (transactional migration, admission control, retry tuning).
+func runShardedPlacementCfg(t *testing.T, width int, spec fault.Spec, mutate func(*PlacementConfig)) ShardedPlacementResult {
+	t.Helper()
 	mk := shardMk(42)
 	cfg := DefaultPlacementConfig(mk(), 16384, 400_000, 16, nil, core.MethodCombined)
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	res, err := RunShardedPlacement(ShardedPlacementConfig{
 		Base: cfg, Shards: width, Label: "history",
 		MkPolicy: func() policy.Policy { return policy.History{} },
@@ -195,6 +205,70 @@ func TestShardedPlacementIdenticalAcrossWidths(t *testing.T) {
 				t.Fatal("sharded history arm promoted nothing; the placement identity check is vacuous")
 			}
 		})
+	}
+}
+
+// TestShardedRetryHeavyIdenticalAcrossWidths pins the deferred-retry
+// queue's replay order under sharding: with allocation and pin faults
+// firing at high rates, most migrations fail transiently and replay
+// from each cell's retry queue in later epochs. A retry deferred in
+// cell k must land in the same epoch, in the same order, at any pool
+// width — the fused provenance log (per-page verdict timelines) and
+// the summed retry counters are compared byte-for-byte at -shards 1
+// and -shards 8, and reproduced at a fixed width.
+func TestShardedRetryHeavyIdenticalAcrossWidths(t *testing.T) {
+	spec, err := fault.ParseSpec("mem.enomem=0.6,mem.pinned=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := runShardedPlacementOnce(t, 1, spec)
+	if seq.Retried == 0 || seq.RetrySucceeded == 0 {
+		t.Fatalf("retry-heavy spec replayed nothing (retried=%d rok=%d); the identity check is vacuous",
+			seq.Retried, seq.RetrySucceeded)
+	}
+	par := runShardedPlacementOnce(t, 8, spec)
+	if a, b := shardedPlacementDump(seq), shardedPlacementDump(par); a != b {
+		t.Fatalf("retry-heavy -shards 1 vs -shards 8 placement output diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := provDump(t, seq.Prov), provDump(t, par.Prov); a != b {
+		t.Fatal("retry-heavy -shards 1 vs -shards 8 provenance logs diverged (retry replay epoch/order moved)")
+	}
+	again := runShardedPlacementOnce(t, 1, spec)
+	if shardedPlacementDump(again) != shardedPlacementDump(seq) {
+		t.Fatal("same seed, same width produced different retry-heavy output")
+	}
+}
+
+// TestShardedTxAdmissionChaosIdenticalAcrossWidths extends the sharded
+// identity contract to the transactional engine: with mid-copy dirty
+// aborts and stale shadows injected and a tight per-cell admission
+// budget, placement counters and the fused provenance log must still
+// be byte-identical at -shards 1 and -shards 8 — per-cell budgets are
+// pure functions of (EpochNS, AdmissionFrac), never of pool width.
+func TestShardedTxAdmissionChaosIdenticalAcrossWidths(t *testing.T) {
+	spec, err := fault.ParseSpec("mem.copyabort=0.3,mem.shadowstale=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := func(cfg *PlacementConfig) {
+		cfg.TxMigration = true
+		cfg.AdmissionFrac = 0.25
+	}
+	seq := runShardedPlacementCfg(t, 1, spec, tx)
+	if seq.TxCommitted == 0 || seq.AbortedDirty == 0 || seq.DeferredAdmission == 0 {
+		t.Fatalf("tx chaos arm is vacuous: txok=%d abort=%d defer=%d",
+			seq.TxCommitted, seq.AbortedDirty, seq.DeferredAdmission)
+	}
+	par := runShardedPlacementCfg(t, 8, spec, tx)
+	if a, b := shardedPlacementDump(seq), shardedPlacementDump(par); a != b {
+		t.Fatalf("tx chaos -shards 1 vs -shards 8 placement output diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := provDump(t, seq.Prov), provDump(t, par.Prov); a != b {
+		t.Fatal("tx chaos -shards 1 vs -shards 8 provenance logs diverged")
+	}
+	again := runShardedPlacementCfg(t, 1, spec, tx)
+	if shardedPlacementDump(again) != shardedPlacementDump(seq) {
+		t.Fatal("same seed, same width produced different tx chaos output")
 	}
 }
 
